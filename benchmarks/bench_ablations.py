@@ -1,0 +1,301 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+- FIFO buffer policy: all-hit vs all-miss vs undersized (§3's
+  predictability alternatives).
+- Set- vs way-partitioning (column caching, the [10]/[8] baseline the
+  paper argues against on granularity grounds).
+- Allocation granularity sweep (units of 4/8/16 sets).
+- Static vs migrating scheduling under partitioning.
+- Solver comparison: exact DP vs greedy vs MILP on the measured curves.
+- Malloc-order sensitivity (§4.1) under dense bump placement.
+"""
+
+from functools import partial
+
+import pytest
+from conftest import APP1_FRAMES, SIZE_MENU, write_artifact
+
+from repro.apps import two_jpeg_canny_workload
+from repro.apps.synthetic import make_pipeline
+from repro.cake import CakeConfig, Platform
+from repro.core import BufferPolicy, solve_mckp_dp, solve_mckp_greedy, solve_mckp_milp
+from repro.core.allocation import buffer_units
+from repro.core.mckp import items_from_curves
+from repro.core.profiling import optimized_item_names
+from repro.mem.partition import PartitionMode
+from repro.rtos.shmalloc import _default_order
+
+APP1 = partial(two_jpeg_canny_workload, scale="paper", frames=APP1_FRAMES)
+
+
+def apply_plan_and_run(method, report, fifo_policy):
+    """Re-plan with a different FIFO policy and simulate."""
+    config = method.platform_config
+    network = method.network_builder()
+    buffers = buffer_units(network, config.unit_bytes, fifo_policy)
+    budget = config.n_allocation_units - sum(buffers.values())
+    items = items_from_curves(
+        report.profile.curve_list(optimized_item_names(network)),
+        report.profile.sizes,
+    )
+    solution = solve_mckp_dp(items, budget)
+    from repro.core import PartitionPlan
+    plan = PartitionPlan.from_parts(
+        solution.allocation, buffers, config.n_allocation_units
+    )
+    return method.simulate(plan)
+
+
+def test_ablation_fifo_policy(benchmark, app1_method, app1_report):
+    """All-hit FIFOs (the paper's rule) vs all-miss vs undersized."""
+    results = {}
+    results[BufferPolicy.ALL_HIT] = app1_report.partitioned_metrics
+
+    def run_other_policies():
+        for policy in (BufferPolicy.ALL_MISS, BufferPolicy.UNDERSIZED):
+            results[policy] = apply_plan_and_run(
+                app1_method, app1_report, policy
+            )
+        return results
+
+    benchmark.pedantic(run_other_policies, rounds=1, iterations=1)
+    fifo_misses = {}
+    for policy, metrics in results.items():
+        fifo_misses[policy] = sum(
+            stats.misses for name, stats in metrics.l2_by_owner.items()
+            if name.startswith("fifo:")
+        )
+    artifact = "\n".join(
+        f"{policy.value:12s}: total={metrics.l2_misses:8d} "
+        f"fifo-misses={fifo_misses[policy]:8d}"
+        for policy, metrics in results.items()
+    )
+    write_artifact("ablation_fifo_policy.txt",
+                   "FIFO buffer policy ablation (app 1)\n" + artifact)
+    # The paper's rule: sizing the partition to the FIFO leaves only
+    # cold misses; the alternatives miss (predictably) much more.
+    assert fifo_misses[BufferPolicy.ALL_HIT] < fifo_misses[BufferPolicy.ALL_MISS]
+    assert fifo_misses[BufferPolicy.ALL_HIT] < fifo_misses[BufferPolicy.UNDERSIZED]
+
+
+def test_ablation_way_partitioning(benchmark, platform_config, app1_report):
+    """Column caching: at 4 ways only 4 owners get exclusive columns,
+    so interference survives -- the paper's granularity criticism."""
+
+    def run_way_partitioned():
+        network = APP1()
+        platform = Platform(
+            network, platform_config, mode=PartitionMode.WAY_PARTITIONED
+        )
+        big_four = ("Raster1", "BackEnd1", "Raster2", "LowPass")
+        ways = {f"task:{name}": (i,) for i, name in enumerate(big_four)}
+        platform.cache_controller.program_way_partitions(ways)
+        return platform.run()
+
+    metrics = benchmark.pedantic(run_way_partitioned, rounds=1, iterations=1)
+    artifact = "\n".join([
+        "way-partitioning (column caching) vs set-partitioning (app 1)",
+        f"  shared          : misses={app1_report.shared_metrics.l2_misses:,} "
+        f"cross-evictions={app1_report.shared_metrics.l2_cross_evictions:,}",
+        f"  way-partitioned : misses={metrics.l2_misses:,} "
+        f"cross-evictions={metrics.l2_cross_evictions:,}",
+        f"  set-partitioned : misses={app1_report.partitioned_metrics.l2_misses:,} "
+        f"cross-evictions={app1_report.partitioned_metrics.l2_cross_evictions:,}",
+    ])
+    write_artifact("ablation_way_partitioning.txt", artifact)
+    # Way partitioning cannot eliminate interference for 15 tasks...
+    assert metrics.l2_cross_evictions > 0
+    # ...while set partitioning does.
+    assert app1_report.partitioned_metrics.l2_cross_evictions == 0
+
+
+@pytest.mark.parametrize("unit_sets", [4, 8, 16])
+def test_ablation_granularity(benchmark, unit_sets):
+    """Allocation-unit sweep on a synthetic pipeline: finer units track
+    working sets more tightly (less internal fragmentation)."""
+    from dataclasses import replace
+
+    config = replace(CakeConfig(), allocation_unit_sets=unit_sets)
+    builder = partial(make_pipeline, n_stages=4, n_tokens=48,
+                      work_bytes=24 * 1024)
+
+    def run_partitioned():
+        network = builder()
+        platform = Platform(network, config,
+                            mode=PartitionMode.SET_PARTITIONED)
+        unit_bytes = config.unit_bytes
+        units = {}
+        for task, spec in network.tasks.items():
+            units[f"task:{task}"] = max(
+                1, -(-(spec.heap_bytes + 4096) // unit_bytes)
+            )
+        for name, fifo in network.fifos.items():
+            units[f"fifo:{name}"] = max(1, -(-fifo.buffer_bytes // unit_bytes))
+        platform.cache_controller.program_set_partitions(units)
+        metrics = platform.run()
+        return metrics, sum(units.values()) * unit_bytes
+
+    (metrics, footprint) = benchmark.pedantic(
+        run_partitioned, rounds=1, iterations=1
+    )
+    write_artifact(
+        f"ablation_granularity_{unit_sets}sets.txt",
+        f"unit={unit_sets} sets: misses={metrics.l2_misses:,} "
+        f"allocated={footprint:,} bytes",
+    )
+    assert metrics.l2_cross_evictions == 0
+
+
+def test_ablation_scheduling(benchmark, platform_config, app1_report):
+    """Static pinning vs migrating round-robin under partitioning:
+    compositional miss counts survive the scheduling change (misses
+    stay close), demonstrating scheduling-independence of the method."""
+    from dataclasses import replace
+
+    def run_static():
+        config = replace(platform_config, scheduling="static")
+        network = APP1()
+        platform = Platform(network, config,
+                            mode=PartitionMode.SET_PARTITIONED)
+        platform.cache_controller.program_set_partitions(
+            app1_report.plan.units_by_owner
+        )
+        return platform.run()
+
+    static_metrics = benchmark.pedantic(run_static, rounds=1, iterations=1)
+    migrate_misses = app1_report.partitioned_metrics.l2_misses
+    drift = abs(static_metrics.l2_misses - migrate_misses) / migrate_misses
+    write_artifact(
+        "ablation_scheduling.txt",
+        "\n".join([
+            "scheduling ablation under partitioning (app 1)",
+            f"  migrate: misses={migrate_misses:,}",
+            f"  static : misses={static_metrics.l2_misses:,}",
+            f"  drift  : {drift:.2%}",
+        ]),
+    )
+    assert static_metrics.l2_cross_evictions == 0
+    assert drift < 0.15
+
+
+def test_ablation_solvers(benchmark, app1_report, platform_config):
+    """Exact DP vs greedy vs MILP on the measured curves."""
+    network = APP1()
+    buffers = buffer_units(network, platform_config.unit_bytes,
+                           BufferPolicy.ALL_HIT)
+    budget = platform_config.n_allocation_units - sum(buffers.values())
+    items = items_from_curves(
+        app1_report.profile.curve_list(optimized_item_names(network)),
+        app1_report.profile.sizes,
+    )
+
+    def solve_all():
+        return {
+            "dp": solve_mckp_dp(items, budget),
+            "greedy": solve_mckp_greedy(items, budget),
+            "milp": solve_mckp_milp(items, budget),
+        }
+
+    solutions = benchmark(solve_all)
+    artifact = "\n".join(
+        f"{name:7s}: predicted misses={solution.total_misses:,.0f} "
+        f"units={solution.total_units}"
+        for name, solution in solutions.items()
+    )
+    write_artifact("ablation_solvers.txt",
+                   "solver comparison (app 1 curves)\n" + artifact)
+    assert solutions["dp"].total_misses == pytest.approx(
+        solutions["milp"].total_misses
+    )
+    assert solutions["greedy"].total_misses <= \
+        solutions["dp"].total_misses * 1.2
+
+
+def test_ablation_malloc_order(benchmark):
+    """§4.1: with dense (bump) placement, permuting the init-time
+    allocation order changes shared-cache misses but not partitioned
+    ones.  A deliberately small L2 (64 KB) keeps the cache contended so
+    placement matters."""
+    config = CakeConfig().with_l2_size(64 * 1024)
+    builder = partial(make_pipeline, n_stages=4, n_tokens=32,
+                      work_bytes=16 * 1024)
+    orders = [None, list(reversed(_default_order(builder())))]
+
+    def run_all():
+        shared, partitioned = [], []
+        for order in orders:
+            platform = Platform(builder(), config,
+                                malloc_order=order, placement="bump")
+            shared.append(platform.run().l2_misses)
+            platform = Platform(builder(), config,
+                                mode=PartitionMode.SET_PARTITIONED,
+                                malloc_order=order, placement="bump")
+            units = {}
+            for task in platform.network.tasks:
+                units[f"task:{task}"] = 4
+            for name in platform.network.fifos:
+                units[f"fifo:{name}"] = 2
+            platform.cache_controller.program_set_partitions(units)
+            partitioned.append(platform.run().l2_misses)
+        return shared, partitioned
+
+    shared, partitioned = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    write_artifact(
+        "ablation_malloc_order.txt",
+        "\n".join([
+            "malloc-order sensitivity (bump placement)",
+            f"  shared      : {shared[0]:,} vs {shared[1]:,} misses",
+            f"  partitioned : {partitioned[0]:,} vs {partitioned[1]:,} misses",
+        ]),
+    )
+    assert shared[0] != shared[1]
+    assert partitioned[0] == partitioned[1]
+
+
+def test_ablation_shared_idct_partition(benchmark, platform_config,
+                                        app1_report):
+    """§4.2 extension: "sharing some cache partitions".  The two IDCT
+    instances run the same program with the same tiny working set;
+    letting IDCT2 ride on IDCT1's partition frees a unit at (almost) no
+    miss cost -- sharing is safe exactly when contents are compatible."""
+
+    def run_shared_idct():
+        network = APP1()
+        platform = Platform(network, platform_config,
+                            mode=PartitionMode.SET_PARTITIONED)
+        units = dict(app1_report.plan.units_by_owner)
+        # One partition sized for the union of both IDCT footprints,
+        # shared by the pair (same total budget as two separate units).
+        freed = units.pop("task:IDCT2")
+        units["task:IDCT1"] = units["task:IDCT1"] + freed
+        platform.cache_controller.program_set_partitions(units)
+        platform.cache_controller.share_partition("task:IDCT2", "task:IDCT1")
+        return platform.run()
+
+    metrics = benchmark.pedantic(run_shared_idct, rounds=1, iterations=1)
+    separate = app1_report.partitioned_metrics
+    idct_separate = (separate.misses_of("task:IDCT1")
+                     + separate.misses_of("task:IDCT2"))
+    idct_shared = (metrics.misses_of("task:IDCT1")
+                   + metrics.misses_of("task:IDCT2"))
+    write_artifact(
+        "ablation_shared_partition.txt",
+        "\n".join([
+            "the two IDCT instances share one union-sized partition",
+            f"  separate partitions: IDCT misses={idct_separate:,}",
+            f"  shared partition   : IDCT misses={idct_shared:,}",
+            f"  total app misses   : {separate.l2_misses:,} -> "
+            f"{metrics.l2_misses:,}",
+            "",
+            "Sharing is nearly free in capacity terms but not literally "
+            "free in misses: the two instances' footprints fold onto the "
+            "same sets at different phases, so a few sets overflow their "
+            "ways -- the predictability cost of giving up exclusivity, "
+            "confined to the consenting pair.",
+        ]),
+    )
+    # Nobody outside the sharing pair is disturbed, and the total stays
+    # within a small factor of the fully exclusive plan.
+    pair_extra = idct_shared - idct_separate
+    assert metrics.l2_misses - separate.l2_misses <= pair_extra * 1.5
+    assert metrics.l2_misses <= separate.l2_misses * 1.10

@@ -1,0 +1,44 @@
+"""Figure 2: per-task and per-buffer misses, shared vs best-partitioned.
+
+The paper's Figure 2 shows, on a log scale, the L2 misses of every task
+and communication buffer under the conventional shared cache and under
+the best partitioning, for both applications.  The headline totals (5x
+and 6.5x fewer misses) derive from the same data.  The benchmark times
+the figure assembly; the simulations come from the session fixtures.
+"""
+
+from conftest import write_artifact
+
+from repro.analysis import figure2_report
+
+
+def _series_checks(report):
+    shared = report.shared_metrics
+    part = report.partitioned_metrics
+    # Partitioning must reduce total misses (the Figure 2 outcome)...
+    assert part.l2_misses < shared.l2_misses
+    # ...by removing interference entirely.
+    assert part.l2_cross_evictions == 0
+    assert shared.l2_cross_evictions > 0
+
+
+def test_fig2_app1(benchmark, app1_report):
+    artifact = benchmark(figure2_report, app1_report, "Figure 2 (left)")
+    write_artifact("fig2_jpeg_canny.txt", artifact)
+    benchmark.extra_info["miss_reduction"] = round(
+        app1_report.miss_reduction_factor, 2
+    )
+    _series_checks(app1_report)
+    # Paper: 5x fewer misses.  Shape bound: at least 2x.
+    assert app1_report.miss_reduction_factor > 2.0
+
+
+def test_fig2_app2(benchmark, app2_report):
+    artifact = benchmark(figure2_report, app2_report, "Figure 2 (right)")
+    write_artifact("fig2_mpeg2.txt", artifact)
+    benchmark.extra_info["miss_reduction"] = round(
+        app2_report.miss_reduction_factor, 2
+    )
+    _series_checks(app2_report)
+    # Paper: 6.5x fewer misses.  Shape bound: at least 2x.
+    assert app2_report.miss_reduction_factor > 2.0

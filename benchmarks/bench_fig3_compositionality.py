@@ -1,0 +1,44 @@
+"""Figure 3: expected vs simulated misses per task (compositionality).
+
+The paper's acceptance criterion: the largest per-task difference
+between the model-expected and the simulated number of misses,
+relative to the overall simulated misses, is 2%.  The benchmark times
+the validation computation.
+"""
+
+from conftest import write_artifact
+
+from repro.analysis import figure3_report
+from repro.core import compare_expected_simulated
+
+
+def test_fig3_app1(benchmark, app1_report):
+    report = benchmark(
+        compare_expected_simulated,
+        app1_report.profile,
+        app1_report.plan,
+        app1_report.partitioned_metrics,
+        app1_report.items,
+    )
+    write_artifact("fig3_jpeg_canny.txt",
+                   figure3_report(app1_report, "Figure 3 (left)"))
+    benchmark.extra_info["max_rel_diff"] = round(
+        report.max_relative_difference, 4
+    )
+    assert report.is_compositional(tolerance=0.02)
+
+
+def test_fig3_app2(benchmark, app2_report):
+    report = benchmark(
+        compare_expected_simulated,
+        app2_report.profile,
+        app2_report.plan,
+        app2_report.partitioned_metrics,
+        app2_report.items,
+    )
+    write_artifact("fig3_mpeg2.txt",
+                   figure3_report(app2_report, "Figure 3 (right)"))
+    benchmark.extra_info["max_rel_diff"] = round(
+        report.max_relative_difference, 4
+    )
+    assert report.is_compositional(tolerance=0.02)

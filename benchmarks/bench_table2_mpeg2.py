@@ -1,0 +1,47 @@
+"""Table 2: L2 set-group allocation for the MPEG-2 decoder.
+
+Same shape as bench_table1: optimizer allocation per task and shared
+region, compared against the paper's Table 2.
+"""
+
+from conftest import write_artifact
+
+from repro.analysis import table_report
+
+#: The paper's Table 2.
+PAPER_TABLE2 = {
+    "input": 2, "vld": 4, "hdr": 16, "isiq": 8, "memMan": 1,
+    "idct": 4, "add": 4, "decMV": 8, "predict": 16, "predictRD": 2,
+    "writeMB": 8, "store": 2, "output": 1,
+    "appl.data": 4, "appl.bss": 1, "rt.data": 8, "rt.bss": 1,
+}
+
+
+def test_table2_allocation(benchmark, app2_method, app2_report):
+    profile = app2_report.profile
+    plan = benchmark(app2_method.optimize, profile)
+
+    rows = []
+    for task, paper_units in PAPER_TABLE2.items():
+        owner = task if task.startswith(("appl", "rt")) else f"task:{task}"
+        rows.append((task, paper_units, plan.units_of(owner)))
+    comparison = "\n".join(
+        f"{name:12s} paper={paper:3d}  measured={measured:3d}"
+        for name, paper, measured in rows
+    )
+    matches = sum(1 for _n, p, m in rows if p == m)
+    artifact = "\n\n".join([
+        table_report(app2_report, "Table 2 (measured)"),
+        "paper vs measured (units):\n" + comparison,
+        f"exact matches: {matches}/{len(rows)}",
+    ])
+    write_artifact("table2_mpeg2.txt", artifact)
+
+    benchmark.extra_info["exact_matches"] = matches
+    benchmark.extra_info["plan_units"] = plan.used_units
+    assert plan.used_units <= plan.total_units
+    # Structural calls: memMan/output tiny, predict/hdr large.
+    assert plan.units_of("task:memMan") <= 2
+    assert plan.units_of("task:output") <= 2
+    assert plan.units_of("task:predict") >= 8
+    assert matches >= len(rows) // 2

@@ -1,0 +1,73 @@
+"""Shared fixtures for the benchmark harness.
+
+The expensive artifacts -- the full method pipeline (profiling sweep +
+shared + partitioned simulation) for each of the paper's two
+applications -- are computed once per session and shared by the
+per-table / per-figure benchmarks.  Every benchmark also writes its
+textual artifact under ``benchmarks/results/`` so the outputs survive
+pytest's output capturing.
+"""
+
+from functools import partial
+from pathlib import Path
+
+import pytest
+
+from repro.apps import mpeg2_workload, two_jpeg_canny_workload
+from repro.cake import CakeConfig
+from repro.core import CompositionalMethod, MethodConfig
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Allocation-size menu (units) used by every profiling sweep.
+SIZE_MENU = [1, 2, 4, 8, 16, 32, 64]
+
+#: Frames simulated per application (app 1 strips are heavier).
+APP1_FRAMES = 2
+APP2_FRAMES = 4
+
+
+def write_artifact(name: str, text: str) -> Path:
+    """Persist one benchmark's textual artifact."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(text + "\n")
+    return path
+
+
+@pytest.fixture(scope="session")
+def platform_config():
+    """The paper's CAKE instance: 4 CPUs, 512 KB 4-way L2."""
+    return CakeConfig()
+
+
+@pytest.fixture(scope="session")
+def app1_method(platform_config):
+    """Pipeline object for 2x JPEG + Canny."""
+    return CompositionalMethod(
+        partial(two_jpeg_canny_workload, scale="paper", frames=APP1_FRAMES),
+        platform_config,
+        MethodConfig(sizes=SIZE_MENU, solver="dp"),
+    )
+
+
+@pytest.fixture(scope="session")
+def app2_method(platform_config):
+    """Pipeline object for the MPEG-2 decoder."""
+    return CompositionalMethod(
+        partial(mpeg2_workload, scale="paper", frames=APP2_FRAMES),
+        platform_config,
+        MethodConfig(sizes=SIZE_MENU, solver="dp"),
+    )
+
+
+@pytest.fixture(scope="session")
+def app1_report(app1_method):
+    """Full pipeline result for application 1 (computed once)."""
+    return app1_method.run()
+
+
+@pytest.fixture(scope="session")
+def app2_report(app2_method):
+    """Full pipeline result for application 2 (computed once)."""
+    return app2_method.run()

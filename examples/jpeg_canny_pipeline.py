@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""The paper's first application: two JPEG decoders + Canny (15 tasks).
+
+Reproduces Table 1 / Figure 2 / Figure 3 for the 2x-JPEG + Canny
+workload at the paper's picture formats (about a minute); ``--quick``
+exercises the same pipeline on toy pictures in seconds.
+
+Run:  python examples/jpeg_canny_pipeline.py [--quick]
+"""
+
+import argparse
+from functools import partial
+
+from repro.analysis import (
+    figure2_report,
+    figure3_report,
+    headline_report,
+    table_report,
+)
+from repro.apps import two_jpeg_canny_workload
+from repro.cake import CakeConfig
+from repro.core import CompositionalMethod, MethodConfig
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="toy-sized pictures; exercises the pipeline "
+                             "in seconds but the tiny decoders fit any "
+                             "cache, so expect no partitioning win")
+    parser.add_argument("--frames", type=int, default=None,
+                        help="frames decoded per run")
+    parser.add_argument("--solver", default="dp",
+                        choices=("dp", "greedy", "milp"))
+    args = parser.parse_args()
+
+    scale = "test" if args.quick else "paper"
+    frames = args.frames if args.frames is not None else (1 if args.quick else 2)
+    sizes = [1, 2, 4, 8] if args.quick else [1, 2, 4, 8, 16, 32, 64]
+    builder = partial(two_jpeg_canny_workload, scale=scale, frames=frames)
+
+    method = CompositionalMethod(
+        builder, CakeConfig(),
+        MethodConfig(sizes=sizes, solver=args.solver),
+    )
+    report = method.run()
+
+    print(table_report(report, "Table 1"))
+    print()
+    print(figure2_report(report, "Figure 2 (app 1)"))
+    print()
+    print(figure3_report(report, "Figure 3 (app 1)"))
+    print()
+    print(headline_report(report))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""ASCII bar charts -- textual stand-ins for the paper's figures."""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+__all__ = ["ascii_bars", "log_bars"]
+
+
+def ascii_bars(
+    series: Sequence[Tuple[str, float]],
+    width: int = 50,
+    title: str = "",
+) -> str:
+    """Linear-scale horizontal bars."""
+    peak = max((value for _n, value in series), default=0.0)
+    out: List[str] = [title] if title else []
+    label_width = max((len(name) for name, _v in series), default=0)
+    for name, value in series:
+        bar = "#" * (int(round(width * value / peak)) if peak else 0)
+        out.append(f"{name.ljust(label_width)} |{bar} {value:,.0f}")
+    return "\n".join(out)
+
+
+def log_bars(
+    series: Sequence[Tuple[str, float, float]],
+    width: int = 40,
+    title: str = "",
+    labels: Tuple[str, str] = ("shared", "partitioned"),
+) -> str:
+    """Paired log-scale bars (the Figure 2 shape: log miss counts)."""
+    floor = 1.0
+    peak = max(
+        (max(a, b) for _n, a, b in series), default=floor
+    )
+    span = math.log10(max(peak, 10.0) / floor)
+    out: List[str] = [title] if title else []
+    label_width = max((len(name) for name, _a, _b in series), default=0)
+
+    def bar(value: float, char: str) -> str:
+        if value <= floor:
+            return ""
+        length = int(round(width * math.log10(value / floor) / span))
+        return char * max(1, length)
+
+    for name, shared, part in series:
+        out.append(f"{name.ljust(label_width)} {labels[0][:5]:>5} "
+                   f"|{bar(shared, '#')} {shared:,.0f}")
+        out.append(f"{''.ljust(label_width)} {labels[1][:5]:>5} "
+                   f"|{bar(part, '=')} {part:,.0f}")
+    return "\n".join(out)

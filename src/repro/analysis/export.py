@@ -1,0 +1,101 @@
+"""Persistence of profiling results and partition plans.
+
+Profiling sweeps are the expensive step of the method (one simulation
+per candidate size).  These helpers serialise a
+:class:`~repro.core.profiling.ProfileResult` and a
+:class:`~repro.core.allocation.PartitionPlan` to JSON so a profile can
+be measured once and re-optimized under many policies/solvers, and
+dump miss curves to CSV for external plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.core.allocation import PartitionPlan
+from repro.core.misscurve import MissCurve
+from repro.core.profiling import ProfileResult
+
+__all__ = [
+    "load_plan",
+    "load_profile",
+    "miss_curves_to_csv",
+    "save_plan",
+    "save_profile",
+]
+
+_PathLike = Union[str, Path]
+
+
+def save_profile(profile: ProfileResult, path: _PathLike) -> Path:
+    """Serialise a profile (curves, accesses, instructions) to JSON."""
+    payload = {
+        "sizes": profile.sizes,
+        "curves": {
+            owner: sorted(
+                (units, value)
+                for units, values in curve._samples.items()
+                for value in values
+            )
+            for owner, curve in profile.curves.items()
+        },
+        "accesses": {
+            owner: {str(units): value for units, value in by_size.items()}
+            for owner, by_size in profile.accesses.items()
+        },
+        "instructions": profile.instructions,
+    }
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=1, sort_keys=True))
+    return path
+
+
+def load_profile(path: _PathLike) -> ProfileResult:
+    """Inverse of :func:`save_profile`."""
+    payload = json.loads(Path(path).read_text())
+    profile = ProfileResult(sizes=list(payload["sizes"]))
+    for owner, pairs in payload["curves"].items():
+        profile.curves[owner] = MissCurve.from_pairs(owner, pairs)
+    for owner, by_size in payload["accesses"].items():
+        profile.accesses[owner] = {
+            int(units): value for units, value in by_size.items()
+        }
+    profile.instructions = dict(payload["instructions"])
+    return profile
+
+
+def save_plan(plan: PartitionPlan, path: _PathLike) -> Path:
+    """Serialise a partition plan to JSON."""
+    payload = {
+        "units_by_owner": plan.units_by_owner,
+        "total_units": plan.total_units,
+        "predicted_misses": plan.predicted_misses,
+    }
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=1, sort_keys=True))
+    return path
+
+
+def load_plan(path: _PathLike) -> PartitionPlan:
+    """Inverse of :func:`save_plan`."""
+    payload = json.loads(Path(path).read_text())
+    return PartitionPlan(
+        units_by_owner=dict(payload["units_by_owner"]),
+        total_units=int(payload["total_units"]),
+        predicted_misses=payload.get("predicted_misses"),
+    )
+
+
+def miss_curves_to_csv(profile: ProfileResult, path: _PathLike) -> Path:
+    """Dump mean miss curves as ``owner,units,misses`` rows."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(("owner", "units", "misses"))
+        for owner in sorted(profile.curves):
+            for units, misses in profile.curves[owner].monotone_means():
+                writer.writerow((owner, units, f"{misses:.1f}"))
+    return path

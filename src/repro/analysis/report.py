@@ -1,0 +1,110 @@
+"""Experiment artifact assembly.
+
+These functions turn a :class:`~repro.core.method.MethodReport` into the
+textual equivalents of the paper's evaluation artifacts; the benchmark
+harness prints them and EXPERIMENTS.md records them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.analysis.charts import log_bars
+from repro.analysis.tables import format_table
+from repro.core.method import MethodReport
+
+__all__ = [
+    "figure2_report",
+    "figure3_report",
+    "headline_report",
+    "table_report",
+]
+
+
+def table_report(report: MethodReport, title: str) -> str:
+    """The Tables 1/2 shape: allocated units per task, then per region.
+
+    Unit counts are directly comparable to the paper's set counts (one
+    unit = one allocatable set group).
+    """
+    task_rows = report.plan.task_rows()
+    data_rows = report.plan.data_rows()
+    buffer_rows = sorted(report.plan.buffer_rows())
+    sections = [
+        format_table(("task", "alloc. L2 units"), task_rows,
+                     title=f"{title} -- tasks"),
+        format_table(("data region", "alloc. L2 units"), data_rows,
+                     title=f"{title} -- shared static data"),
+        format_table(("buffer", "alloc. L2 units"), buffer_rows,
+                     title=f"{title} -- communication buffers (policy-sized)"),
+        (
+            f"total allocated: {report.plan.used_units} of "
+            f"{report.plan.total_units} units"
+        ),
+    ]
+    return "\n\n".join(sections)
+
+
+def figure2_report(report: MethodReport, title: str) -> str:
+    """Figure 2: per-item misses, shared vs best-partitioned (log)."""
+    series: List[Tuple[str, float, float]] = []
+    for item in report.items + sorted(
+        name for name in report.partitioned_metrics.l2_by_owner
+        if name.startswith(("fifo:", "frame:"))
+    ):
+        shared = report.shared_metrics.misses_of(item)
+        part = report.partitioned_metrics.misses_of(item)
+        series.append((item, shared, part))
+    chart = log_bars(series, title=f"{title}: misses shared(#) vs partitioned(=)")
+    totals = (
+        f"total: {report.shared_metrics.l2_misses:,} shared vs "
+        f"{report.partitioned_metrics.l2_misses:,} partitioned "
+        f"({report.miss_reduction_factor:.2f}x fewer)"
+    )
+    return f"{chart}\n{totals}"
+
+
+def figure3_report(report: MethodReport, title: str) -> str:
+    """Figure 3: expected vs simulated misses per optimized item."""
+    rows = [
+        (
+            name,
+            int(round(expected)),
+            simulated,
+            f"{abs(expected - simulated) / max(1, report.compositionality.total_simulated):.2%}",
+        )
+        for name, expected, simulated in report.compositionality.rows
+    ]
+    table = format_table(
+        ("item", "expected", "simulated", "|diff|/total"),
+        rows,
+        title=f"{title}: expected vs simulated misses",
+    )
+    verdict = (
+        f"max relative difference: "
+        f"{report.compositionality.max_relative_difference:.2%} "
+        f"(paper bound: 2%) -> "
+        f"{'compositional' if report.compositionality.is_compositional() else 'NOT compositional'}"
+    )
+    return f"{table}\n{verdict}"
+
+
+def headline_report(report: MethodReport) -> str:
+    """The §5 in-text numbers for one application."""
+    rows = [
+        ("L2 miss rate", f"{report.shared_miss_rate:.2%}",
+         f"{report.partitioned_miss_rate:.2%}"),
+        ("L2 misses", f"{report.shared_metrics.l2_misses:,}",
+         f"{report.partitioned_metrics.l2_misses:,}"),
+        ("miss reduction", "1.00x", f"{report.miss_reduction_factor:.2f}x"),
+        ("mean CPI", f"{report.shared_metrics.mean_cpi:.3f}",
+         f"{report.partitioned_metrics.mean_cpi:.3f}"),
+        ("CPI improvement", "-", f"{report.cpi_improvement:.1%}"),
+        ("cross-owner evictions", f"{report.shared_metrics.l2_cross_evictions:,}",
+         f"{report.partitioned_metrics.l2_cross_evictions:,}"),
+    ]
+    return format_table(
+        ("metric", "shared", "partitioned"),
+        rows,
+        title=f"headline metrics -- {report.app_name}",
+    )

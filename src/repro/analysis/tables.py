@@ -1,0 +1,61 @@
+"""Plain-text table rendering."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+__all__ = ["format_table"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+    aligns: Optional[Sequence[str]] = None,
+) -> str:
+    """Render rows as a boxed monospace table.
+
+    ``aligns`` is a string per column: ``"l"`` or ``"r"`` (default:
+    first column left, the rest right).
+    """
+    columns = len(headers)
+    if aligns is None:
+        aligns = ["l"] + ["r"] * (columns - 1)
+    cells: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(f"row {row!r} has {len(row)} != {columns} cells")
+        cells.append([_fmt(value) for value in row])
+    widths = [max(len(r[c]) for r in cells) for c in range(columns)]
+
+    def line(row: Sequence[str]) -> str:
+        parts = []
+        for c, value in enumerate(row):
+            if aligns[c] == "l":
+                parts.append(value.ljust(widths[c]))
+            else:
+                parts.append(value.rjust(widths[c]))
+        return "| " + " | ".join(parts) + " |"
+
+    separator = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(separator)
+    out.append(line(cells[0]))
+    out.append(separator)
+    out.extend(line(r) for r in cells[1:])
+    out.append(separator)
+    return "\n".join(out)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.3g}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)

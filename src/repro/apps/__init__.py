@@ -1,0 +1,23 @@
+"""Workloads.
+
+- :mod:`repro.apps.synthetic` -- parameterised pipelines and traffic
+  generators used by tests, examples and ablations.
+- :mod:`repro.apps.jpeg` -- the JPEG decoder task graph of [1]
+  (FrontEnd, IDCT, Raster, BackEnd).
+- :mod:`repro.apps.canny` -- the line-based Canny edge detector
+  (FrontEnd, LowPass, HorizSobel, VertSobel, HorizNMS, VertNMS,
+  MaxTreshold -- the paper's spelling).
+- :mod:`repro.apps.mpeg2` -- the 13-task parallel MPEG-2 decoder of
+  [11] (input, vld, hdr, isiq, memMan, idct, add, decMV, predict,
+  predictRD, writeMB, store, output).
+- :mod:`repro.apps.workloads` -- the paper's two evaluation
+  applications assembled: ``two_jpeg_canny_workload()`` (15 tasks) and
+  ``mpeg2_workload()`` (13 tasks).
+"""
+
+from repro.apps.workloads import (
+    mpeg2_workload,
+    two_jpeg_canny_workload,
+)
+
+__all__ = ["mpeg2_workload", "two_jpeg_canny_workload"]

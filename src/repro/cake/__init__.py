@@ -1,0 +1,22 @@
+"""CAKE multiprocessor tile model.
+
+The experimental platform of the paper is an instance of the Philips
+CAKE architecture: a homogeneous tile with four TriMedia-class VLIW
+CPUs, private L1 caches, a shared unified 512 KB 4-way L2 (the on-tile
+memory) and off-chip DRAM behind a high-bandwidth snooping interconnect
+(Figure 1 of the paper).
+
+- :mod:`repro.cake.config` -- :class:`CakeConfig`, the platform knobs.
+- :mod:`repro.cake.metrics` -- per-CPU and per-run metrics (CPI, miss
+  rates, per-owner L2 misses).
+- :mod:`repro.cake.processor` -- the trace-driven CPU runner that
+  interprets task ops.
+- :mod:`repro.cake.platform` -- :class:`Platform`, which instantiates a
+  process network on the tile and runs it.
+"""
+
+from repro.cake.config import CakeConfig
+from repro.cake.metrics import CpuMetrics, RunMetrics
+from repro.cake.platform import Platform
+
+__all__ = ["CakeConfig", "CpuMetrics", "Platform", "RunMetrics"]

@@ -1,0 +1,86 @@
+"""Platform configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigurationError
+from repro.mem.cache import CacheGeometry
+from repro.mem.hierarchy import HierarchyConfig
+
+__all__ = ["CakeConfig"]
+
+
+@dataclass(frozen=True)
+class CakeConfig:
+    """Knobs of one CAKE tile instance.
+
+    The defaults reproduce the paper's instance: 4 CPUs, 512 KB 4-way
+    L2.  With 64-byte lines that is 2048 sets; an allocation unit of 8
+    sets gives 256 allocatable units, making the unit counts directly
+    comparable to the set counts in the paper's Tables 1 and 2.
+    """
+
+    n_cpus: int = 4
+    hierarchy: HierarchyConfig = field(default_factory=HierarchyConfig)
+    #: Cycle cost of a context switch.
+    switch_cycles: int = 400
+    #: Round-robin quantum in cycles.
+    quantum_cycles: int = 40_000
+    #: ``"static"`` or ``"migrate"`` (the paper's experimental default).
+    scheduling: str = "migrate"
+    #: Cache sets per allocation unit.
+    allocation_unit_sets: int = 8
+    #: Root seed for all random streams.
+    seed: int = 20050307
+
+    def __post_init__(self) -> None:
+        if self.n_cpus <= 0:
+            raise ConfigurationError("n_cpus must be positive")
+        if self.switch_cycles < 0:
+            raise ConfigurationError("switch_cycles must be >= 0")
+        if self.quantum_cycles <= 0:
+            raise ConfigurationError("quantum_cycles must be positive")
+        if self.scheduling not in ("static", "migrate"):
+            raise ConfigurationError(
+                f"scheduling must be 'static' or 'migrate', got "
+                f"{self.scheduling!r}"
+            )
+        sets = self.hierarchy.l2_geometry.sets
+        if self.allocation_unit_sets <= 0 or sets % self.allocation_unit_sets:
+            raise ConfigurationError(
+                f"allocation_unit_sets={self.allocation_unit_sets} must "
+                f"divide the {sets} L2 sets"
+            )
+
+    @property
+    def n_allocation_units(self) -> int:
+        """Allocatable units in the L2."""
+        return self.hierarchy.l2_geometry.sets // self.allocation_unit_sets
+
+    @property
+    def unit_bytes(self) -> int:
+        """Bytes of cache per allocation unit."""
+        geometry = self.hierarchy.l2_geometry
+        return self.allocation_unit_sets * geometry.ways * geometry.line_size
+
+    def with_l2_size(self, size_bytes: int) -> "CakeConfig":
+        """A copy with a different L2 capacity (same ways/line size).
+
+        Used for the paper's "mpeg2 with 1 MB shared L2" data point.
+        """
+        old = self.hierarchy.l2_geometry
+        new_geometry = CacheGeometry.from_size(size_bytes, old.ways, old.line_size)
+        return replace(
+            self, hierarchy=replace(self.hierarchy, l2_geometry=new_geometry)
+        )
+
+    def with_l2_sets(self, sets: int) -> "CakeConfig":
+        """A copy with an explicit L2 set count (profiling caches)."""
+        old = self.hierarchy.l2_geometry
+        new_geometry = CacheGeometry(
+            sets=sets, ways=old.ways, line_size=old.line_size
+        )
+        return replace(
+            self, hierarchy=replace(self.hierarchy, l2_geometry=new_geometry)
+        )

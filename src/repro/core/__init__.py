@@ -1,0 +1,49 @@
+"""The paper's contribution: compositional cache management.
+
+- :mod:`repro.core.misscurve` -- per-owner miss curves ``m_i(s)``.
+- :mod:`repro.core.profiling` -- measuring miss curves by simulation
+  (§3.2: "can be obtained by simulation or program analysis").
+- :mod:`repro.core.mckp` -- the (M)ILP of §3.2 is a multiple-choice
+  knapsack; exact DP, greedy and brute-force solvers.
+- :mod:`repro.core.milp` -- the same problem through
+  ``scipy.optimize.milp`` (HiGHS), cross-checked against the DP.
+- :mod:`repro.core.allocation` -- buffer-sizing policies (FIFOs get
+  cache equal to their size; frame buffers get their access window)
+  and the final :class:`PartitionPlan`.
+- :mod:`repro.core.throughput` -- the analytic throughput model
+  ``1 / max_k Y(P_k)`` and task-to-processor assignment (§3.1).
+- :mod:`repro.core.power` -- the energy/power objective (§3.1).
+- :mod:`repro.core.method` -- :class:`CompositionalMethod`, the
+  end-to-end pipeline (profile -> optimize -> program -> validate).
+- :mod:`repro.core.validate` -- the Figure-3 compositionality check.
+"""
+
+from repro.core.allocation import BufferPolicy, PartitionPlan
+from repro.core.method import CompositionalMethod, MethodConfig, MethodReport
+from repro.core.milp import solve_mckp_milp
+from repro.core.misscurve import MissCurve
+from repro.core.mckp import solve_mckp_bruteforce, solve_mckp_dp, solve_mckp_greedy
+from repro.core.power import EnergyModel
+from repro.core.profiling import ProfileResult, profile_miss_curves
+from repro.core.throughput import ThroughputModel, assign_tasks_lpt
+from repro.core.validate import CompositionalityReport, compare_expected_simulated
+
+__all__ = [
+    "BufferPolicy",
+    "CompositionalMethod",
+    "CompositionalityReport",
+    "EnergyModel",
+    "MethodConfig",
+    "MethodReport",
+    "MissCurve",
+    "PartitionPlan",
+    "ProfileResult",
+    "ThroughputModel",
+    "assign_tasks_lpt",
+    "compare_expected_simulated",
+    "profile_miss_curves",
+    "solve_mckp_bruteforce",
+    "solve_mckp_dp",
+    "solve_mckp_greedy",
+    "solve_mckp_milp",
+]

@@ -1,0 +1,156 @@
+"""Buffer-sizing policies and the final partition plan.
+
+§3 and §4.1 of the paper fix how communication buffers are cached:
+
+- **FIFOs**: "The FIFOs access predictability is achieved by allocating
+  them cache of the same size as the FIFO size" -- the *all-hit*
+  policy.  The all-miss alternative (minimal partition, every access
+  misses but predictably) is also implemented for the FIFO-policy
+  ablation, as is the unpredictable undersized middle ground the paper
+  warns about.
+- **Frame buffers**: an exclusive partition sized to the buffer's
+  declared access window (write streams need a strip; fully re-read
+  reference frames want the whole frame when it fits).
+- **Shared static data** (appl/rt data and bss): these are optimized
+  together with the tasks -- they appear as items in the MCKP, which is
+  how the paper's Tables 1 and 2 list them next to the tasks.
+
+:class:`PartitionPlan` combines the fixed buffer allocations with the
+optimizer's task allocations and programs the platform.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cake.platform import Platform
+from repro.errors import OptimizationError
+from repro.kpn.graph import ProcessNetwork
+from repro.rtos.cachectl import CacheController
+
+__all__ = ["BufferPolicy", "PartitionPlan", "buffer_units"]
+
+#: The four shared static regions that get their own table rows.
+SHARED_ITEMS = ("appl.data", "appl.bss", "rt.data", "rt.bss")
+
+
+class BufferPolicy(enum.Enum):
+    """How FIFO buffers are sized (§3's predictability alternatives)."""
+
+    ALL_HIT = "all-hit"  # cache = FIFO size; only cold misses
+    ALL_MISS = "all-miss"  # minimal cache; every access misses
+    UNDERSIZED = "undersized"  # half the ring: the unpredictable case
+
+
+def buffer_units(
+    network: ProcessNetwork,
+    unit_bytes: int,
+    fifo_policy: BufferPolicy = BufferPolicy.ALL_HIT,
+) -> Dict[str, int]:
+    """Fixed unit allocations for every FIFO and frame buffer."""
+    allocation: Dict[str, int] = {}
+    for name, fifo in network.fifos.items():
+        if fifo_policy is BufferPolicy.ALL_HIT:
+            units = -(-fifo.buffer_bytes // unit_bytes)
+        elif fifo_policy is BufferPolicy.ALL_MISS:
+            units = 1
+        else:
+            units = max(1, fifo.buffer_bytes // (2 * unit_bytes))
+        allocation[f"fifo:{name}"] = max(1, units)
+    for name, frame in network.frames.items():
+        allocation[f"frame:{name}"] = max(
+            1, -(-frame.window_bytes // unit_bytes)
+        )
+    return allocation
+
+
+@dataclass
+class PartitionPlan:
+    """A complete owner-name -> units allocation for one application."""
+
+    units_by_owner: Dict[str, int] = field(default_factory=dict)
+    total_units: int = 0
+    #: Objective value the optimizer predicted (expected misses of the
+    #: optimized items only; buffers are policy-fixed).
+    predicted_misses: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        for owner, units in self.units_by_owner.items():
+            if units <= 0:
+                raise OptimizationError(
+                    f"plan gives owner {owner!r} {units} units"
+                )
+
+    @property
+    def used_units(self) -> int:
+        """Units claimed by the plan."""
+        return sum(self.units_by_owner.values())
+
+    @property
+    def spare_units(self) -> int:
+        """Unallocated units (kept free / shared pool)."""
+        return self.total_units - self.used_units
+
+    def validate(self) -> None:
+        """Check the plan fits its capacity."""
+        if self.used_units > self.total_units:
+            raise OptimizationError(
+                f"plan uses {self.used_units} of {self.total_units} units"
+            )
+
+    def units_of(self, owner: str) -> int:
+        """Units given to ``owner`` (0 when unpartitioned)."""
+        return self.units_by_owner.get(owner, 0)
+
+    def task_rows(self) -> List[tuple]:
+        """(task name, units) rows -- the Tables 1/2 task section."""
+        return [
+            (name[len("task:"):], units)
+            for name, units in self.units_by_owner.items()
+            if name.startswith("task:")
+        ]
+
+    def data_rows(self) -> List[tuple]:
+        """(region, units) rows -- the Tables 1/2 data section."""
+        return [
+            (name, units)
+            for name, units in self.units_by_owner.items()
+            if name in SHARED_ITEMS
+        ]
+
+    def buffer_rows(self) -> List[tuple]:
+        """(buffer, units) rows -- FIFOs and frame buffers."""
+        return [
+            (name, units)
+            for name, units in self.units_by_owner.items()
+            if name.startswith(("fifo:", "frame:"))
+        ]
+
+    def apply(self, platform: Platform) -> None:
+        """Program the platform's L2 translation tables from this plan."""
+        self.validate()
+        platform.cache_controller.program_set_partitions(self.units_by_owner)
+
+    @classmethod
+    def from_parts(
+        cls,
+        optimized: Dict[str, int],
+        buffers: Dict[str, int],
+        total_units: int,
+        predicted_misses: Optional[float] = None,
+    ) -> "PartitionPlan":
+        """Merge optimizer output with policy-fixed buffer allocations."""
+        merged = dict(buffers)
+        for owner, units in optimized.items():
+            if owner in merged:
+                raise OptimizationError(f"owner {owner!r} allocated twice")
+            merged[owner] = units
+        plan = cls(
+            units_by_owner=merged,
+            total_units=total_units,
+            predicted_misses=predicted_misses,
+        )
+        plan.validate()
+        return plan

@@ -1,0 +1,283 @@
+"""Multiple-choice knapsack solvers for the §3.2 optimization.
+
+The paper formulates partition sizing as a (mixed) integer linear
+program: pick exactly one cache size ``z^s`` per task (binary variables
+``x_i^s`` with ``sum_s x_i^s = 1``) minimizing total misses
+``sum_i sum_s x_i^s M_i^s`` subject to the capacity constraint.  That
+is precisely the *multiple-choice knapsack problem* (MCKP), so besides
+an off-the-shelf MILP backend (:mod:`repro.core.milp`) the library
+carries:
+
+- :func:`solve_mckp_dp` -- exact dynamic program over capacity units,
+  ``O(n_items x capacity x n_choices)``; the reference solver.
+- :func:`solve_mckp_greedy` -- classic marginal-gain heuristic on the
+  convexified curves; near-optimal for convex miss curves and fast.
+- :func:`solve_mckp_bruteforce` -- exhaustive search for tiny
+  instances; used by tests to certify the DP.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.misscurve import MissCurve
+from repro.errors import OptimizationError
+
+__all__ = [
+    "MckpItem",
+    "MckpSolution",
+    "items_from_curves",
+    "solve_mckp_bruteforce",
+    "solve_mckp_dp",
+    "solve_mckp_greedy",
+]
+
+
+@dataclass(frozen=True)
+class MckpItem:
+    """One owner with its menu of (units, misses) choices."""
+
+    name: str
+    choices: Tuple[Tuple[int, float], ...]  # (units, misses), ascending units
+
+    def __post_init__(self) -> None:
+        if not self.choices:
+            raise OptimizationError(f"item {self.name!r} has no choices")
+        units = [c[0] for c in self.choices]
+        if sorted(set(units)) != list(units):
+            raise OptimizationError(
+                f"item {self.name!r}: choices must have unique ascending sizes"
+            )
+        if min(units) <= 0:
+            raise OptimizationError(f"item {self.name!r}: sizes must be >= 1")
+
+
+@dataclass
+class MckpSolution:
+    """Chosen units per item plus the objective value."""
+
+    allocation: Dict[str, int]
+    total_misses: float
+    total_units: int
+
+    def __getitem__(self, name: str) -> int:
+        return self.allocation[name]
+
+
+def items_from_curves(
+    curves: Sequence[MissCurve], sizes: Sequence[int]
+) -> List[MckpItem]:
+    """Build MCKP items by sampling each curve at the menu ``sizes``."""
+    menu = sorted(set(int(s) for s in sizes))
+    return [
+        MckpItem(
+            name=curve.owner,
+            choices=tuple((s, curve.misses_at(s)) for s in menu),
+        )
+        for curve in curves
+    ]
+
+
+def solve_mckp_dp(items: Sequence[MckpItem], capacity: int) -> MckpSolution:
+    """Exact DP over capacity units.
+
+    ``table[i][c]`` = minimal misses using the first ``i`` items within
+    ``c`` units; reconstruction walks the choice table backwards.
+    """
+    if capacity < 0:
+        raise OptimizationError("capacity must be >= 0")
+    infinity = float("inf")
+    n = len(items)
+    table = [[infinity] * (capacity + 1) for _ in range(n + 1)]
+    choice: List[List[int]] = [[-1] * (capacity + 1) for _ in range(n)]
+    for c in range(capacity + 1):
+        table[0][c] = 0.0
+    for i, item in enumerate(items):
+        row = table[i]
+        new_row = table[i + 1]
+        choice_row = choice[i]
+        for c in range(capacity + 1):
+            best = infinity
+            best_choice = -1
+            for k, (units, misses) in enumerate(item.choices):
+                if units > c:
+                    break
+                prev = row[c - units]
+                if prev + misses < best:
+                    best = prev + misses
+                    best_choice = k
+            new_row[c] = best
+            choice_row[c] = best_choice
+    if table[n][capacity] == infinity:
+        raise OptimizationError(
+            f"infeasible: {n} items cannot fit in {capacity} units"
+        )
+    # Walk back the minimal-capacity optimum (prefer spare units).
+    c = capacity
+    allocation: Dict[str, int] = {}
+    total = table[n][capacity]
+    for i in range(n - 1, -1, -1):
+        k = choice[i][c]
+        if k < 0:
+            raise OptimizationError("corrupt DP reconstruction")  # pragma: no cover
+        units = items[i].choices[k][0]
+        allocation[items[i].name] = units
+        c -= units
+    return MckpSolution(
+        allocation=allocation,
+        total_misses=total,
+        total_units=sum(allocation.values()),
+    )
+
+
+def _convex_hull(choices: Sequence[Tuple[int, float]]) -> List[Tuple[int, float]]:
+    """Lower convex envelope of a (units, misses) curve.
+
+    Keeps only points where the marginal gain per unit is decreasing --
+    the classical MCKP-greedy preprocessing.  Dominated points (more
+    units, not fewer misses) are dropped first.
+    """
+    # Drop dominated points: keep only strict miss improvements, so of
+    # equal-miss points the cheapest (fewest units) survives.
+    monotone: List[Tuple[int, float]] = []
+    for units, misses in choices:
+        if not monotone or misses < monotone[-1][1]:
+            monotone.append((units, misses))
+    # Convexify: slopes (miss reduction per unit) must be decreasing.
+    hull: List[Tuple[int, float]] = []
+    for point in monotone:
+        while len(hull) >= 2:
+            (u1, m1), (u2, m2) = hull[-2], hull[-1]
+            slope_prev = (m1 - m2) / (u2 - u1)
+            slope_new = (m2 - point[1]) / (point[0] - u2)
+            if slope_new > slope_prev:
+                hull.pop()
+            else:
+                break
+        hull.append(point)
+    return hull
+
+
+def solve_mckp_greedy(items: Sequence[MckpItem], capacity: int) -> MckpSolution:
+    """Marginal-gain greedy on the convex hull of each item's curve.
+
+    Start every item at its smallest choice, then repeatedly take the
+    hull upgrade with the best miss-reduction per unit until the budget
+    is exhausted.  This is the classical LP-relaxation-quality MCKP
+    heuristic; the paper itself applies "a practical approximation" of
+    the exact formulation.
+    """
+    allocation = {item.name: item.choices[0][0] for item in items}
+    misses = {item.name: item.choices[0][1] for item in items}
+    used = sum(allocation.values())
+    if used > capacity:
+        raise OptimizationError(
+            f"infeasible: minimal allocations need {used} > {capacity} units"
+        )
+    hulls = {
+        item.name: _convex_hull(
+            [(item.choices[0][0], item.choices[0][1])] + [
+                choice for choice in item.choices[1:]
+            ]
+        )
+        for item in items
+    }
+    # Heap of candidate hull upgrades: (-gain_per_unit, name, hull index).
+    heap: List[Tuple[float, str, int]] = []
+    index = {item.name: 0 for item in items}
+
+    def push_next(name: str) -> None:
+        hull = hulls[name]
+        k = index[name]
+        if k + 1 < len(hull):
+            cur_units, cur_misses = hull[k]
+            nxt_units, nxt_misses = hull[k + 1]
+            gain = (cur_misses - nxt_misses) / (nxt_units - cur_units)
+            heapq.heappush(heap, (-gain, name, k + 1))
+
+    for item in items:
+        push_next(item.name)
+    while heap:
+        neg_gain, name, k = heapq.heappop(heap)
+        if k != index[name] + 1:
+            continue  # stale entry
+        hull = hulls[name]
+        delta = hull[k][0] - hull[index[name]][0]
+        if used + delta > capacity or -neg_gain <= 0.0:
+            continue
+        used += delta
+        index[name] = k
+        allocation[name] = hull[k][0]
+        misses[name] = hull[k][1]
+        push_next(name)
+
+    # Repair pass: the slope-ordered walk can strand budget when a
+    # steep upgrade is skipped for being momentarily unaffordable.
+    # Spend what is left on the single best affordable upgrade,
+    # repeatedly, over the raw (non-hull) choices.
+    improved = True
+    while improved:
+        improved = False
+        best = None
+        for item in items:
+            current_units = allocation[item.name]
+            current_misses = misses[item.name]
+            for units, item_misses in item.choices:
+                delta = units - current_units
+                if delta <= 0 or used + delta > capacity:
+                    continue
+                gain = current_misses - item_misses
+                if gain <= 0:
+                    continue
+                if best is None or gain / delta > best[0]:
+                    best = (gain / delta, item.name, units, item_misses, delta)
+        if best is not None:
+            _rate, name, units, item_misses, delta = best
+            allocation[name] = units
+            misses[name] = item_misses
+            used += delta
+            improved = True
+    return MckpSolution(
+        allocation=allocation,
+        total_misses=sum(misses.values()),
+        total_units=used,
+    )
+
+
+def solve_mckp_bruteforce(items: Sequence[MckpItem], capacity: int) -> MckpSolution:
+    """Exhaustive search; only for tiny instances (tests)."""
+    space = 1
+    for item in items:
+        space *= len(item.choices)
+    if space > 2_000_000:
+        raise OptimizationError(
+            f"brute force over {space} combinations refused"
+        )
+    best = None
+    best_misses = float("inf")
+    best_units = None
+    for combo in itertools.product(*(item.choices for item in items)):
+        units = sum(c[0] for c in combo)
+        if units > capacity:
+            continue
+        misses = sum(c[1] for c in combo)
+        if misses < best_misses or (
+            misses == best_misses and (best_units is None or units < best_units)
+        ):
+            best = combo
+            best_misses = misses
+            best_units = units
+    if best is None:
+        raise OptimizationError(
+            f"infeasible: no combination fits {capacity} units"
+        )
+    return MckpSolution(
+        allocation={
+            item.name: choice[0] for item, choice in zip(items, best)
+        },
+        total_misses=best_misses,
+        total_units=best_units or 0,
+    )

@@ -1,0 +1,58 @@
+"""Energy/power objective (§3.1).
+
+"The consumed power depends by the time and the memory traffic that the
+system needs to complete all its tasks.  Optimizing the overall
+execution time (respectively the number of misses) gives the most power
+consumptions reduction."
+
+The model charges energy per L2 access, per DRAM line transfer and
+static power per elapsed cycle.  Default coefficients follow the usual
+embedded-SoC ordering (DRAM transfer ~20x an L2 access); only *ratios*
+between configurations are meaningful, which is how the benchmark
+reports them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cake.metrics import RunMetrics
+
+__all__ = ["EnergyModel", "EnergyBreakdown"]
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy split by source (arbitrary units)."""
+
+    l2_energy: float
+    dram_energy: float
+    static_energy: float
+
+    @property
+    def total(self) -> float:
+        """Total energy."""
+        return self.l2_energy + self.dram_energy + self.static_energy
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-event energy coefficients (arbitrary units)."""
+
+    l2_access_energy: float = 1.0
+    dram_line_energy: float = 20.0
+    static_power_per_cycle: float = 0.002
+
+    def evaluate(self, metrics: RunMetrics) -> EnergyBreakdown:
+        """Energy of one platform run."""
+        return EnergyBreakdown(
+            l2_energy=self.l2_access_energy * metrics.l2_accesses,
+            dram_energy=self.dram_line_energy * metrics.dram_lines,
+            static_energy=self.static_power_per_cycle * metrics.elapsed_cycles,
+        )
+
+    def improvement(self, baseline: RunMetrics, optimized: RunMetrics) -> float:
+        """Relative energy reduction of ``optimized`` vs ``baseline``."""
+        base = self.evaluate(baseline).total
+        opt = self.evaluate(optimized).total
+        return (base - opt) / base if base > 0 else 0.0

@@ -1,0 +1,44 @@
+"""Exception hierarchy shared across the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without also swallowing programming
+errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """Raised for misuse of the discrete-event simulation kernel."""
+
+
+class MemoryModelError(ReproError):
+    """Raised for invalid memory-system configuration or access."""
+
+
+class AddressError(MemoryModelError):
+    """Raised when an address falls outside every known region."""
+
+
+class PartitionError(MemoryModelError):
+    """Raised for invalid cache-partition configuration."""
+
+
+class SchedulingError(ReproError):
+    """Raised for invalid scheduler or task state transitions."""
+
+
+class NetworkError(ReproError):
+    """Raised for malformed process networks (unknown ports, bad FIFOs)."""
+
+
+class OptimizationError(ReproError):
+    """Raised when a partitioning optimization problem is infeasible."""
+
+
+class ConfigurationError(ReproError):
+    """Raised for inconsistent platform or workload configuration."""

@@ -1,0 +1,166 @@
+"""Run-time bounded FIFO channels.
+
+A :class:`FifoChannel` owns a ring buffer region in shared memory plus a
+64-byte administration block inside the RTOS data region (read/write
+pointers, token count -- the structures the operating system maintains
+for YAPI FIFOs).  Reading or writing tokens therefore produces two kinds
+of memory traffic, both of which the paper's partitioning must cover:
+
+- payload accesses in the FIFO's own region, which the interval table
+  resolves to the *FIFO's* owner id, and
+- administration accesses in ``rt.data``, resolved to the RTOS owner.
+
+The channel itself enforces KPN synchronisation state (token counts);
+blocking/waking of tasks is orchestrated by the CPU runner, which parks
+blocked tasks on ``waiting_readers`` / ``waiting_writers``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import NetworkError
+from repro.kpn.graph import FifoSpec
+from repro.mem.address import Region
+from repro.mem.trace import AccessBatch
+from repro.patterns.streams import ring
+
+__all__ = ["FifoChannel", "FifoStats"]
+
+#: Bytes of the per-FIFO administration block in rt.data.
+ADMIN_BLOCK_BYTES = 64
+
+#: Payload element size (a 32-bit word per access).
+PAYLOAD_ELEM_BYTES = 4
+
+
+@dataclass
+class FifoStats:
+    """Observable behaviour of one FIFO channel."""
+
+    tokens_produced: int = 0
+    tokens_consumed: int = 0
+    blocked_reads: int = 0
+    blocked_writes: int = 0
+    max_occupancy: int = 0
+
+
+class FifoChannel:
+    """Bounded FIFO with address-accurate token transfers."""
+
+    def __init__(
+        self,
+        spec: FifoSpec,
+        buffer_region: Region,
+        admin_region: Region,
+        admin_offset: int,
+    ):
+        if buffer_region.size < spec.buffer_bytes:
+            raise NetworkError(
+                f"fifo {spec.name!r}: region {buffer_region.name!r} smaller "
+                f"than the ring buffer"
+            )
+        if admin_offset + ADMIN_BLOCK_BYTES > admin_region.size:
+            raise NetworkError(
+                f"fifo {spec.name!r}: admin block outside {admin_region.name!r}"
+            )
+        self.spec = spec
+        self.buffer_region = buffer_region
+        self.admin_region = admin_region
+        self.admin_offset = admin_offset
+        self.tokens = 0
+        self.read_ptr = 0
+        self.write_ptr = 0
+        self.stats = FifoStats()
+        #: Tasks suspended on this channel (runner-managed).
+        self.waiting_readers: List = []
+        self.waiting_writers: List = []
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        """Capacity in tokens."""
+        return self.spec.capacity_tokens
+
+    @property
+    def free_tokens(self) -> int:
+        """Tokens that can still be written."""
+        return self.capacity - self.tokens
+
+    def can_read(self, n: int) -> bool:
+        """True when ``n`` tokens are available."""
+        return self.tokens >= n
+
+    def can_write(self, n: int) -> bool:
+        """True when there is space for ``n`` tokens."""
+        return self.free_tokens >= n
+
+    # -- traffic -----------------------------------------------------------
+
+    def _admin_batch(self) -> AccessBatch:
+        """Reads+update of the FIFO control block (pointers, counters)."""
+        base = self.admin_region.base + self.admin_offset
+        # Read rd/wr pointers + count + limit, then write back two words.
+        addrs = base + np.array([0, 8, 16, 24, 0, 16], dtype=np.int64)
+        writes = np.array([False, False, False, False, True, True])
+        return AccessBatch(addrs=addrs, writes=writes, instructions=24)
+
+    def read_batch(self, n: int) -> AccessBatch:
+        """Traffic of consuming ``n`` tokens (call only when readable)."""
+        if not self.can_read(n):
+            raise NetworkError(f"fifo {self.spec.name!r}: read of {n} underflows")
+        payload = ring(
+            self.buffer_region,
+            head=self.read_ptr,
+            nbytes=n * self.spec.token_bytes,
+            elem=PAYLOAD_ELEM_BYTES,
+            write=False,
+        )
+        return AccessBatch.concat([self._admin_batch(), payload])
+
+    def write_batch(self, n: int) -> AccessBatch:
+        """Traffic of producing ``n`` tokens (call only when writable)."""
+        if not self.can_write(n):
+            raise NetworkError(f"fifo {self.spec.name!r}: write of {n} overflows")
+        payload = ring(
+            self.buffer_region,
+            head=self.write_ptr,
+            nbytes=n * self.spec.token_bytes,
+            elem=PAYLOAD_ELEM_BYTES,
+            write=True,
+        )
+        return AccessBatch.concat([self._admin_batch(), payload])
+
+    # -- commits -----------------------------------------------------------
+
+    def commit_read(self, n: int) -> None:
+        """Consume ``n`` tokens (state change only)."""
+        if not self.can_read(n):
+            raise NetworkError(f"fifo {self.spec.name!r}: read of {n} underflows")
+        self.tokens -= n
+        self.read_ptr = (
+            self.read_ptr + n * self.spec.token_bytes
+        ) % self.buffer_region.size
+        self.stats.tokens_consumed += n
+
+    def commit_write(self, n: int) -> None:
+        """Produce ``n`` tokens (state change only)."""
+        if not self.can_write(n):
+            raise NetworkError(f"fifo {self.spec.name!r}: write of {n} overflows")
+        self.tokens += n
+        self.write_ptr = (
+            self.write_ptr + n * self.spec.token_bytes
+        ) % self.buffer_region.size
+        self.stats.tokens_produced += n
+        if self.tokens > self.stats.max_occupancy:
+            self.stats.max_occupancy = self.tokens
+
+    def __repr__(self) -> str:
+        return (
+            f"<FifoChannel {self.spec.name!r} {self.tokens}/{self.capacity} "
+            f"tokens>"
+        )

@@ -1,0 +1,71 @@
+"""Operations a task program yields to the CPU runner.
+
+A task program is a generator.  Each ``yield`` hands one operation to
+the processor model, which prices it in cycles (and may suspend the task
+when a FIFO operation cannot proceed -- the KPN blocking semantics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.errors import NetworkError
+from repro.mem.trace import AccessBatch
+
+__all__ = ["Compute", "Delay", "Op", "ReadToken", "WriteToken"]
+
+
+@dataclass(frozen=True)
+class Compute:
+    """Execute a batch of memory accesses (plus its instructions)."""
+
+    batch: AccessBatch
+    label: str = ""
+
+
+@dataclass(frozen=True)
+class ReadToken:
+    """Consume ``tokens`` tokens from the FIFO bound to ``port``.
+
+    Blocks (suspends the task) while fewer tokens are available --
+    read-from-empty synchronisation.
+    """
+
+    port: str
+    tokens: int = 1
+
+    def __post_init__(self) -> None:
+        if self.tokens <= 0:
+            raise NetworkError(f"ReadToken needs tokens >= 1, got {self.tokens}")
+
+
+@dataclass(frozen=True)
+class WriteToken:
+    """Produce ``tokens`` tokens into the FIFO bound to ``port``.
+
+    Blocks while the FIFO lacks space -- write-to-full synchronisation
+    (the practical, bounded-FIFO variant of KPN).
+    """
+
+    port: str
+    tokens: int = 1
+
+    def __post_init__(self) -> None:
+        if self.tokens <= 0:
+            raise NetworkError(f"WriteToken needs tokens >= 1, got {self.tokens}")
+
+
+@dataclass(frozen=True)
+class Delay:
+    """Pure computation delay with no modelled memory traffic."""
+
+    cycles: int = 0
+    label: str = field(default="")
+
+    def __post_init__(self) -> None:
+        if self.cycles < 0:
+            raise NetworkError(f"Delay needs cycles >= 0, got {self.cycles}")
+
+
+Op = Union[Compute, ReadToken, WriteToken, Delay]

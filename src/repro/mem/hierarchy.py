@@ -1,0 +1,326 @@
+"""Multi-level memory hierarchy walker.
+
+:class:`MemorySystem` ties together the per-CPU private L1 caches, the
+shared (optionally partitioned) L2, the bus and DRAM, and prices a batch
+of memory accesses in cycles:
+
+``cycles = instructions x issue_cpi``
+``        + L2 read accesses x l2_hit_cycles``
+``        + L2 misses x DRAM latency``
+``        + bus transfer + contention cycles``
+
+Writebacks (dirty evictions) generate traffic but do not stall the CPU
+-- the usual write-buffer simplification.  All per-owner hit/miss
+accounting lives in the caches' :class:`~repro.mem.cache.CacheStats`.
+
+The walker consumes *runs* (see :mod:`repro.mem.trace`): one cache probe
+per run, with the run length counted as accesses.  L1 and L2 must share
+a line size for the run semantics to be exact; the constructor enforces
+this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, MemoryModelError
+from repro.mem.bus import BusConfig, SharedBus
+from repro.mem.cache import CacheGeometry, SetAssociativeCache, WayManagedCache
+from repro.mem.memory import DramConfig, MainMemory
+from repro.mem.partition import (
+    OwnerResolver,
+    PartitionMode,
+    SetPartitionMap,
+    WayPartitionMap,
+)
+from repro.mem.trace import AccessBatch
+
+__all__ = ["BatchResult", "HierarchyConfig", "MemorySystem"]
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """Geometries and timing of the whole memory system."""
+
+    #: 8 KB 4-way private L1 (TriMedia-class data cache pressure: small
+    #: enough that task working sets spill to the shared L2, which is
+    #: where the paper's interference effect lives).
+    l1_geometry: CacheGeometry = CacheGeometry(sets=32, ways=4, line_size=64)
+    #: 512 KB 4-way shared L2 -- the paper's instance.
+    l2_geometry: CacheGeometry = CacheGeometry(sets=2048, ways=4, line_size=64)
+    #: Base cycles per instruction of the VLIW core (no memory stalls).
+    issue_cpi: float = 0.55
+    #: Stall cycles for an L2 hit (L1 miss served on-tile).
+    l2_hit_cycles: int = 12
+    dram: DramConfig = field(default_factory=DramConfig)
+    bus: BusConfig = field(default_factory=BusConfig)
+    l2_policy: str = "lru"
+
+    def __post_init__(self) -> None:
+        if self.l1_geometry.line_size != self.l2_geometry.line_size:
+            raise ConfigurationError(
+                "L1 and L2 must share a line size for run coalescing"
+            )
+        if self.issue_cpi <= 0:
+            raise ConfigurationError("issue_cpi must be positive")
+        if self.l2_hit_cycles < 0:
+            raise ConfigurationError("l2_hit_cycles must be >= 0")
+
+
+@dataclass
+class BatchResult:
+    """Cost and traffic of executing one access batch."""
+
+    cycles: int = 0
+    instructions: int = 0
+    accesses: int = 0
+    l1_misses: int = 0
+    l2_accesses: int = 0
+    l2_misses: int = 0
+    dram_lines: int = 0
+    bus_cycles: int = 0
+    store_fills: int = 0
+
+    def merge(self, other: "BatchResult") -> None:
+        """Accumulate another result into this one."""
+        self.cycles += other.cycles
+        self.instructions += other.instructions
+        self.accesses += other.accesses
+        self.l1_misses += other.l1_misses
+        self.l2_accesses += other.l2_accesses
+        self.l2_misses += other.l2_misses
+        self.dram_lines += other.dram_lines
+        self.bus_cycles += other.bus_cycles
+        self.store_fills += other.store_fills
+
+
+class MemorySystem:
+    """L1s + shared L2 + bus + DRAM for an ``n_cpus`` tile."""
+
+    def __init__(
+        self,
+        n_cpus: int,
+        config: HierarchyConfig,
+        resolver: Optional[OwnerResolver] = None,
+        mode: PartitionMode = PartitionMode.SHARED,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if n_cpus <= 0:
+            raise ConfigurationError("n_cpus must be positive")
+        self.n_cpus = n_cpus
+        self.config = config
+        self.mode = mode
+        self.resolver = resolver if resolver is not None else OwnerResolver()
+        self.l1s: List[SetAssociativeCache] = [
+            SetAssociativeCache(config.l1_geometry, name=f"l1.cpu{i}")
+            for i in range(n_cpus)
+        ]
+        if mode is PartitionMode.WAY_PARTITIONED:
+            self.l2_way = WayManagedCache(config.l2_geometry, name="l2")
+            self.l2 = None
+        else:
+            self.l2 = SetAssociativeCache(
+                config.l2_geometry, policy=config.l2_policy, name="l2", rng=rng
+            )
+            self.l2_way = None
+        self.set_map = SetPartitionMap(config.l2_geometry.sets)
+        self.way_map = WayPartitionMap(config.l2_geometry.ways)
+        self.memory = MainMemory(config.dram)
+        self.bus = SharedBus(config.bus, n_cpus=n_cpus)
+
+    # -- configuration -----------------------------------------------------
+
+    @property
+    def l2_stats(self):
+        """Per-owner stats of the L2 (whichever implementation is live)."""
+        cache = self.l2 if self.l2 is not None else self.l2_way
+        return cache.stats
+
+    def reset_stats(self) -> None:
+        """Zero all statistics without touching cache contents."""
+        for l1 in self.l1s:
+            l1.stats.reset()
+        self.l2_stats.reset()
+        self.memory.reset_traffic()
+        self.bus.reset()
+
+    # -- execution -----------------------------------------------------------
+
+    def execute_batch(
+        self, cpu_id: int, task_owner: int, batch: AccessBatch, now: float
+    ) -> BatchResult:
+        """Run ``batch`` on ``cpu_id`` on behalf of ``task_owner``.
+
+        Returns the :class:`BatchResult` with the cycle cost; caches,
+        bus and DRAM state advance as side effects.
+        """
+        if not 0 <= cpu_id < self.n_cpus:
+            raise MemoryModelError(f"cpu {cpu_id} out of range")
+        config = self.config
+        l1 = self.l1s[cpu_id]
+        line_shift = config.l1_geometry.line_shift
+        l1_mask = config.l1_geometry.index_mask
+        l2_mask = config.l2_geometry.index_mask
+        resolve = self.resolver.resolve
+        set_partitioned = self.mode is PartitionMode.SET_PARTITIONED
+        way_partitioned = self.mode is PartitionMode.WAY_PARTITIONED
+        translate = self.set_map.map_index
+        ways_of = self.way_map.ways_of
+
+        result = BatchResult(
+            instructions=batch.instructions, accesses=batch.n_accesses
+        )
+        stall_cycles = 0.0
+        transfers = 0
+        # A write-only run touching at least this many spots filled the
+        # whole line, so the allocation needs no fetch (write-validate).
+        full_line_count = config.l1_geometry.line_size // 4
+
+        line_addrs, counts, write_any, write_all = batch.runs(line_shift)
+        for i in range(line_addrs.shape[0]):
+            line = int(line_addrs[i])
+            count = int(counts[i])
+            write = bool(write_any[i])
+            owner = resolve(line << line_shift, task_owner)
+
+            l1_hit, _cold, l1_evicted = l1.access(
+                line, line & l1_mask, write, owner, n=count
+            )
+            if l1_hit:
+                continue
+            result.l1_misses += 1
+            transfers += 1
+
+            # Dirty L1 victim is written back into the L2 first.  The
+            # write-back is non-allocating: it updates the L2 copy when
+            # present and otherwise goes straight to DRAM.
+            if l1_evicted is not None and l1_evicted[2]:
+                wb_line, wb_owner = l1_evicted[0], l1_evicted[1]
+                if way_partitioned:
+                    wb_hit = self.l2_way.probe_writeback(
+                        wb_line, wb_line & l2_mask, wb_owner
+                    )
+                else:
+                    wb_index = (
+                        translate(wb_owner, wb_line)
+                        if set_partitioned
+                        else wb_line & l2_mask
+                    )
+                    wb_hit = self.l2.probe_writeback(wb_line, wb_index, wb_owner)
+                if not wb_hit:
+                    self.memory.access(wb_line, True, now)
+                    result.dram_lines += 1
+                transfers += 1
+
+            # Full-line streaming stores allocate without a DRAM fetch
+            # (write-validate).  The line is installed dirty in the L2
+            # as well -- the L2 is the tile's communication point, so a
+            # consumer on another CPU finds the producer's data there.
+            # The allocation counts as an access but not as a miss.
+            if bool(write_all[i]) and count >= full_line_count:
+                result.store_fills += 1
+                self._l2_store_fill(
+                    line, owner, l2_mask, set_partitioned, way_partitioned,
+                    translate, ways_of, now, result,
+                )
+                continue
+
+            # The demand fill.
+            l2_hit = self._l2_access(
+                line,
+                owner,
+                write,
+                l2_mask,
+                set_partitioned,
+                way_partitioned,
+                translate,
+                ways_of,
+                now,
+                result,
+            )
+            stall_cycles += config.l2_hit_cycles
+            if not l2_hit:
+                stall_cycles += self.memory.access(line, False, now)
+                result.dram_lines += 1
+
+        bus_cycles = self.bus.price_transfers(cpu_id, transfers, now)
+        result.bus_cycles = bus_cycles
+        result.cycles = int(
+            round(batch.instructions * config.issue_cpi)
+            + int(stall_cycles)
+            + bus_cycles
+        )
+        return result
+
+    def _l2_store_fill(
+        self,
+        line: int,
+        owner: int,
+        l2_mask: int,
+        set_partitioned: bool,
+        way_partitioned: bool,
+        translate,
+        ways_of,
+        now: float,
+        result: BatchResult,
+    ) -> None:
+        """Install a fully written line in the L2 without fetching.
+
+        Uses the normal allocation path (so evictions and their
+        attribution happen as usual) but cancels the miss/DRAM-read
+        accounting: a write-validated allocation transfers nothing from
+        memory.
+        """
+        result.l2_accesses += 1
+        if way_partitioned:
+            cache = self.l2_way
+            hit, cold, evicted = cache.access(
+                line, line & l2_mask, True, owner, ways_of(owner)
+            )
+        else:
+            cache = self.l2
+            index = translate(owner, line) if set_partitioned else line & l2_mask
+            hit, cold, evicted = cache.access(line, index, True, owner)
+        if not hit:
+            # Not a demand miss: undo the miss counting of access().
+            stats = cache.stats.owner(owner)
+            stats.misses -= 1
+            stats.hits += 1
+            if cold:
+                stats.cold_misses -= 1
+        if evicted is not None and evicted[2]:
+            self.memory.access(evicted[0], True, now)
+            result.dram_lines += 1
+
+    def _l2_access(
+        self,
+        line: int,
+        owner: int,
+        write: bool,
+        l2_mask: int,
+        set_partitioned: bool,
+        way_partitioned: bool,
+        translate,
+        ways_of,
+        now: float,
+        result: BatchResult,
+    ) -> bool:
+        """One L2 probe; handles translation, way masks and writebacks."""
+        result.l2_accesses += 1
+        if way_partitioned:
+            hit, _cold, evicted = self.l2_way.access(
+                line, line & l2_mask, write, owner, ways_of(owner)
+            )
+        else:
+            index = translate(owner, line) if set_partitioned else line & l2_mask
+            hit, _cold, evicted = self.l2.access(line, index, write, owner)
+        if not hit:
+            result.l2_misses += 1
+        if evicted is not None and evicted[2]:
+            # Dirty L2 victim goes to DRAM; traffic only, no CPU stall.
+            self.memory.access(evicted[0], True, now)
+            result.dram_lines += 1
+        return hit

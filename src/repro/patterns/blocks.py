@@ -1,0 +1,78 @@
+"""2-D block (tile) access patterns.
+
+These model the blocked data movement of transform coders: an 8x8 IDCT
+reads a block row-wise several times (row pass, column pass), a motion
+compensator gathers prediction blocks from arbitrary positions inside a
+reference frame.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import MemoryModelError
+from repro.mem.address import Region
+from repro.mem.trace import AccessBatch
+
+__all__ = ["block2d", "gather_blocks"]
+
+
+def block2d(
+    region: Region,
+    row_stride: int,
+    x0: int,
+    y0: int,
+    width: int,
+    height: int,
+    elem: int = 1,
+    write: bool = False,
+    passes: int = 1,
+    instructions: Optional[int] = None,
+) -> AccessBatch:
+    """Row-major walk of a ``width x height`` tile at ``(x0, y0)``.
+
+    ``row_stride`` is the byte distance between consecutive rows of the
+    underlying 2-D array; ``elem`` the bytes touched per element.
+    ``passes`` repeats the walk (e.g. separable transforms touch the
+    block twice).
+    """
+    if width <= 0 or height <= 0:
+        raise MemoryModelError("block dimensions must be positive")
+    last_byte = (y0 + height - 1) * row_stride + (x0 + width) * elem
+    if x0 < 0 or y0 < 0 or last_byte > region.size:
+        raise MemoryModelError(
+            f"block ({x0},{y0},{width}x{height}) outside region {region.name!r}"
+        )
+    cols = np.arange(width, dtype=np.int64) * elem
+    rows = (y0 + np.arange(height, dtype=np.int64)) * row_stride
+    tile = (rows[:, None] + x0 * elem + cols[None, :]).ravel()
+    if passes > 1:
+        tile = np.tile(tile, passes)
+    addrs = region.base + tile
+    return AccessBatch.from_addresses(addrs, writes=write, instructions=instructions)
+
+
+def gather_blocks(
+    region: Region,
+    row_stride: int,
+    positions: Iterable[Tuple[int, int]],
+    width: int,
+    height: int,
+    elem: int = 1,
+    write: bool = False,
+) -> AccessBatch:
+    """Fetch several tiles (motion-compensation style).
+
+    ``positions`` is an iterable of ``(x, y)`` block origins -- for a
+    motion compensator these are the motion-vector-displaced positions
+    in the reference frame.
+    """
+    batches = [
+        block2d(region, row_stride, x, y, width, height, elem=elem, write=write)
+        for x, y in positions
+    ]
+    if not batches:
+        return AccessBatch.empty()
+    return AccessBatch.concat(batches)

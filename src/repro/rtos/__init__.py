@@ -1,0 +1,34 @@
+"""Run-time operating-system model.
+
+The paper's experiments run under an RTOS that (a) schedules tasks on
+the four CPUs -- task migration and dynamic scheduling are allowed on
+the experimental system (§3.2), (b) owns its own data/bss regions which
+receive exclusive cache partitions (last rows of Tables 1 and 2), and
+(c) "offers primitives of cache allocation for tasks and for shared
+memory" (§4.2).
+
+- :mod:`repro.rtos.task` -- task control blocks and statistics.
+- :mod:`repro.rtos.scheduler` -- static-assignment and migrating
+  round-robin scheduling.
+- :mod:`repro.rtos.shmalloc` -- the deterministic init-time memory
+  allocator that lays out every region (§4.1 fixes the allocation
+  order; the malloc-order ablation permutes it).
+- :mod:`repro.rtos.cachectl` -- the cache-allocation syscalls: loading
+  the shared-memory interval table and programming the L2 set- or
+  way-partition maps.
+"""
+
+from repro.rtos.cachectl import CacheController
+from repro.rtos.scheduler import Scheduler
+from repro.rtos.shmalloc import MemoryLayout, build_memory_layout
+from repro.rtos.task import Task, TaskState, TaskStats
+
+__all__ = [
+    "CacheController",
+    "MemoryLayout",
+    "Scheduler",
+    "Task",
+    "TaskState",
+    "TaskStats",
+    "build_memory_layout",
+]

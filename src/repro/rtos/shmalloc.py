@@ -1,0 +1,153 @@
+"""Init-time memory layout (the RTOS allocator).
+
+§4.1 of the paper: "we assume that the memory allocation is done during
+the initialization period and the overall allocation order is always the
+same."  :func:`build_memory_layout` is that init-time allocator: it lays
+every region of a process network into one linear address space in a
+deterministic order -- per task its code/data/bss/stack/heap, then the
+shared application and RTOS regions, then every FIFO ring buffer and
+frame buffer.
+
+The ``order`` argument permutes the allocation order without changing
+any sizes; the malloc-order ablation uses it to show that a *shared*
+cache's miss count depends on this order while a partitioned cache's
+does not (the compositionality argument of §4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.kpn.fifo import ADMIN_BLOCK_BYTES
+from repro.kpn.graph import ProcessNetwork
+from repro.mem.address import AddressSpace, MemoryMap, Region, RegionKind
+
+__all__ = ["MemoryLayout", "build_memory_layout"]
+
+#: Names of the shared static regions (the last rows of Tables 1/2).
+SHARED_REGION_NAMES = ("appl.data", "appl.bss", "rt.data", "rt.bss")
+
+
+@dataclass
+class MemoryLayout:
+    """The finished layout plus role indexes used by the platform."""
+
+    memory_map: MemoryMap
+    #: task name -> {"code": Region, "data": ..., "bss", "stack", "heap"}
+    task_regions: Dict[str, Dict[str, Region]]
+    #: "appl.data" / "appl.bss" / "rt.data" / "rt.bss" -> Region
+    shared_regions: Dict[str, Region]
+    #: fifo name -> ring-buffer Region
+    fifo_regions: Dict[str, Region]
+    #: fifo name -> byte offset of its admin block inside rt.data
+    fifo_admin_offsets: Dict[str, int]
+    #: frame-buffer name -> Region
+    frame_regions: Dict[str, Region]
+    #: the allocation order actually used (region names)
+    allocation_order: List[str] = field(default_factory=list)
+
+
+def _default_order(network: ProcessNetwork) -> List[str]:
+    """Deterministic default allocation order of §4.1."""
+    order: List[str] = []
+    for task_name in network.tasks:
+        for part in ("code", "data", "bss", "stack", "heap"):
+            order.append(f"{task_name}.{part}")
+    order.extend(SHARED_REGION_NAMES)
+    order.extend(f"fifo.{name}" for name in network.fifos)
+    order.extend(f"frame.{name}" for name in network.frames)
+    return order
+
+
+def build_memory_layout(
+    network: ProcessNetwork,
+    base: int = 0x1000_0000,
+    alignment: int = 64,
+    order: Optional[Sequence[str]] = None,
+    placement: str = "scatter",
+    seed: int = 0,
+) -> MemoryLayout:
+    """Lay out every region of ``network`` in one address space.
+
+    ``order`` (region names as produced by the default order) permutes
+    the allocation sequence; it must be a permutation of the default.
+    ``placement`` selects dense packing (``"bump"``) or realistic
+    page-scattered placement (``"scatter"``, the default -- see
+    :class:`~repro.mem.address.AddressSpace`).  Under scatter placement
+    the region *names* fully determine the layout, so ``order`` only
+    matters for bump packing -- which is itself the paper's §4.1
+    observation that a shared cache is sensitive to allocation order.
+    """
+    network.validate()
+    default_order = _default_order(network)
+    if order is None:
+        chosen = default_order
+    else:
+        chosen = list(order)
+        if sorted(chosen) != sorted(default_order):
+            raise ConfigurationError(
+                "custom allocation order must be a permutation of the "
+                "default region list"
+            )
+
+    # Region name -> (size, kind, owner task name or None).
+    sizes: Dict[str, tuple] = {}
+    part_kind = {
+        "code": RegionKind.CODE,
+        "data": RegionKind.DATA,
+        "bss": RegionKind.BSS,
+        "stack": RegionKind.STACK,
+        "heap": RegionKind.HEAP,
+    }
+    for task_name, spec in network.tasks.items():
+        for part, kind in part_kind.items():
+            sizes[f"{task_name}.{part}"] = (
+                getattr(spec, f"{part}_bytes"), kind, task_name
+            )
+    rt_data_bytes = max(
+        network.rt_data_bytes, ADMIN_BLOCK_BYTES * (len(network.fifos) + 4)
+    )
+    sizes["appl.data"] = (network.appl_data_bytes, RegionKind.DATA, None)
+    sizes["appl.bss"] = (network.appl_bss_bytes, RegionKind.BSS, None)
+    sizes["rt.data"] = (rt_data_bytes, RegionKind.DATA, None)
+    sizes["rt.bss"] = (network.rt_bss_bytes, RegionKind.BSS, None)
+    for fifo_name, fifo in network.fifos.items():
+        sizes[f"fifo.{fifo_name}"] = (fifo.buffer_bytes, RegionKind.FIFO, None)
+    for frame_name, frame in network.frames.items():
+        sizes[f"frame.{frame_name}"] = (frame.size_bytes, RegionKind.FRAME, None)
+
+    space = AddressSpace(base=base, alignment=alignment,
+                         placement=placement, seed=seed)
+    for region_name in chosen:
+        size, kind, owner = sizes[region_name]
+        space.allocate(region_name, size, kind, owner_name=owner)
+
+    memory_map = MemoryMap(space)
+    task_regions = {
+        task_name: {
+            part: space.region(f"{task_name}.{part}") for part in part_kind
+        }
+        for task_name in network.tasks
+    }
+    shared_regions = {name: space.region(name) for name in SHARED_REGION_NAMES}
+    fifo_regions = {
+        name: space.region(f"fifo.{name}") for name in network.fifos
+    }
+    frame_regions = {
+        name: space.region(f"frame.{name}") for name in network.frames
+    }
+    fifo_admin_offsets = {
+        name: index * ADMIN_BLOCK_BYTES
+        for index, name in enumerate(network.fifos)
+    }
+    return MemoryLayout(
+        memory_map=memory_map,
+        task_regions=task_regions,
+        shared_regions=shared_regions,
+        fifo_regions=fifo_regions,
+        fifo_admin_offsets=fifo_admin_offsets,
+        frame_regions=frame_regions,
+        allocation_order=list(chosen),
+    )

@@ -1,0 +1,536 @@
+"""Core of the discrete-event simulation kernel.
+
+The kernel follows the classic event-loop design popularised by SimPy:
+
+- A :class:`Simulator` owns a priority queue of scheduled events ordered
+  by ``(time, priority, sequence)``.  The ``sequence`` tie-break makes the
+  kernel fully deterministic: two events scheduled for the same time fire
+  in scheduling order.
+- An :class:`Event` can be *pending* (nobody triggered it yet),
+  *triggered* (it carries a value and sits in the queue) or *processed*
+  (its callbacks have run).
+- A :class:`Process` wraps a Python generator.  The generator yields
+  events; whenever a yielded event is processed the generator is resumed
+  with the event's value (or the event's exception is thrown into it).
+
+The kernel is intentionally small but complete enough for an operating
+system model: processes can be interrupted (:meth:`Process.interrupt`),
+composed (:class:`AllOf` / :class:`AnyOf`) and can wait on timeouts.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.errors import SimulationError
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Interrupt",
+    "Process",
+    "Simulator",
+    "Timeout",
+    "URGENT",
+    "NORMAL",
+]
+
+#: Scheduling priority for events that must run before ordinary events
+#: scheduled at the same time (used internally for interrupts).
+URGENT = 0
+
+#: Default scheduling priority.
+NORMAL = 1
+
+
+class _Pending:
+    """Sentinel for the value of a not-yet-triggered event."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<PENDING>"
+
+
+PENDING = _Pending()
+
+
+class Interrupt(Exception):
+    """Thrown into a process when :meth:`Process.interrupt` is called.
+
+    The interrupting party may attach an arbitrary ``cause`` describing
+    why the process was interrupted (for example a preemption notice from
+    a scheduler).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    Events move through three states:
+
+    ``pending``
+        created, not yet triggered; ``triggered`` and ``processed`` are
+        both ``False``.
+    ``triggered``
+        :meth:`succeed` or :meth:`fail` was called; the event sits in the
+        simulator queue with its value attached.
+    ``processed``
+        the simulator popped the event and ran its callbacks.
+
+    Callbacks receive the event itself.  Adding a callback to an already
+    processed event schedules an immediate (same-time) delivery, which
+    keeps "wait on something that already happened" race-free.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_processed", "_defused")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[list] = []
+        self._value: Any = PENDING
+        self._ok: bool = True
+        self._processed: bool = False
+        self._defused: bool = False
+
+    # -- state inspection ------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event carries a value (success or failure)."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The value the event was triggered with.
+
+        Raises :class:`~repro.errors.SimulationError` when read before the
+        event triggers.
+        """
+        if self._value is PENDING:
+            raise SimulationError(f"value of {self!r} is not yet available")
+        return self._value
+
+    # -- triggering ------------------------------------------------------
+
+    def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.sim._enqueue(self, delay=0.0, priority=priority)
+        return self
+
+    def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
+        """Trigger the event with an exception.
+
+        The exception propagates into every process waiting on the event.
+        If nothing ever waits on a failed event the simulator re-raises it
+        at processing time (errors never pass silently); call
+        :meth:`defused` handling to opt out.
+        """
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        self._ok = False
+        self._value = exception
+        self.sim._enqueue(self, delay=0.0, priority=priority)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so the kernel won't re-raise."""
+        self._defused = True
+
+    # -- wiring ----------------------------------------------------------
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run ``callback(event)`` when the event is processed.
+
+        If the event has already been processed the callback is scheduled
+        for immediate delivery at the current simulation time.
+        """
+        if self._processed:
+            self.sim._enqueue_call(callback, self)
+        else:
+            assert self.callbacks is not None
+            self.callbacks.append(callback)
+
+    def remove_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Remove a previously added callback (no-op if absent)."""
+        if self.callbacks and callback in self.callbacks:
+            self.callbacks.remove(callback)
+
+    def __repr__(self) -> str:
+        state = (
+            "processed"
+            if self._processed
+            else "triggered"
+            if self.triggered
+            else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that triggers itself ``delay`` time units in the future."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay!r}")
+        super().__init__(sim)
+        self._ok = True
+        self._value = value
+        sim._enqueue(self, delay=delay, priority=NORMAL)
+
+
+class Initialize(Event):
+    """Internal event used to start a freshly created process."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator"):
+        super().__init__(sim)
+        self._ok = True
+        self._value = None
+        sim._enqueue(self, delay=0.0, priority=URGENT)
+
+
+class Process(Event):
+    """A generator-driven simulation process.
+
+    The process is itself an event: it triggers when the generator
+    returns (successfully, with the generator's return value) or raises
+    (as a failure).  This lets processes wait on each other by yielding
+    the other process.
+    """
+
+    __slots__ = ("generator", "name", "_target")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        generator: Generator[Event, Any, Any],
+        name: Optional[str] = None,
+    ):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise SimulationError(
+                f"Process needs a generator, got {type(generator).__name__}"
+            )
+        super().__init__(sim)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        #: The event this process is currently waiting on (None when the
+        #: process is being resumed or has terminated).
+        self._target: Optional[Event] = None
+        init = Initialize(sim)
+        init.add_callback(self._resume)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not terminated."""
+        return self._value is PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process.
+
+        The process is rescheduled immediately (urgent priority); the
+        event it was waiting on stays valid and may be re-yielded by the
+        process if it wants to resume waiting.
+        """
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt dead process {self.name!r}")
+        if self.generator is _current_generator(self.sim):
+            raise SimulationError("a process cannot interrupt itself")
+        # Stop listening on the current target; the interrupt supersedes.
+        if self._target is not None:
+            self._target.remove_callback(self._resume)
+            self._target = None
+        failure = Event(self.sim)
+        failure._ok = False
+        failure._value = Interrupt(cause)
+        failure._defused = True
+        self.sim._enqueue(failure, delay=0.0, priority=URGENT)
+        failure.add_callback(self._resume)
+
+    # -- internal --------------------------------------------------------
+
+    def _resume(self, event: Event) -> None:
+        self.sim._active_process = self
+        self._target = None
+        while True:
+            try:
+                if event._ok:
+                    next_event = self.generator.send(event._value)
+                else:
+                    event._defused = True
+                    next_event = self.generator.throw(event._value)
+            except StopIteration as stop:
+                self._ok = True
+                self._value = stop.value
+                self.sim._enqueue(self, delay=0.0, priority=NORMAL)
+                break
+            except BaseException as exc:
+                self._ok = False
+                self._value = exc
+                self.sim._enqueue(self, delay=0.0, priority=NORMAL)
+                break
+
+            if not isinstance(next_event, Event):
+                error = SimulationError(
+                    f"process {self.name!r} yielded a non-event: {next_event!r}"
+                )
+                event = Event(self.sim)
+                event._ok = False
+                event._value = error
+                event._defused = True
+                continue
+            if next_event.sim is not self.sim:
+                raise SimulationError(
+                    f"process {self.name!r} yielded an event from another simulator"
+                )
+            if next_event._processed:
+                # Already done: loop around synchronously with its value.
+                event = next_event
+                continue
+            self._target = next_event
+            next_event.add_callback(self._resume)
+            break
+        self.sim._active_process = None
+
+    def __repr__(self) -> str:
+        status = "alive" if self.is_alive else "dead"
+        return f"<Process {self.name!r} {status}>"
+
+
+class _Condition(Event):
+    """Common machinery for :class:`AllOf` and :class:`AnyOf`."""
+
+    __slots__ = ("events", "_n_processed")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = tuple(events)
+        self._n_processed = 0
+        for event in self.events:
+            if event.sim is not sim:
+                raise SimulationError("condition mixes events from different simulators")
+        if not self.events:
+            self.succeed({})
+            return
+        for event in self.events:
+            event.add_callback(self._check)
+
+    def _collect(self) -> dict:
+        return {
+            event: event._value
+            for event in self.events
+            if event._processed and event._ok
+        }
+
+    def _check(self, event: Event) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def _on_child(self, event: Event) -> bool:
+        """Handle a child completing; returns True if condition is live."""
+        if self.triggered:
+            if not event._ok:
+                event._defused = True
+            return False
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return False
+        self._n_processed += 1
+        return True
+
+
+class AllOf(_Condition):
+    """Succeeds when *all* child events succeed.
+
+    The value is a dict mapping each child event to its value.  Fails as
+    soon as any child fails.
+    """
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self._on_child(event) and self._n_processed == len(self.events):
+            self.succeed(self._collect())
+
+
+class AnyOf(_Condition):
+    """Succeeds when the *first* child event succeeds.
+
+    The value is a dict of the child events processed so far.
+    """
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self._on_child(event):
+            self.succeed(self._collect())
+
+
+def _current_generator(sim: "Simulator"):
+    active = sim._active_process
+    return active.generator if active is not None else None
+
+
+class Simulator:
+    """The discrete-event scheduler.
+
+    Typical usage::
+
+        sim = Simulator()
+
+        def worker(sim):
+            yield sim.timeout(10)
+            return "done"
+
+        proc = sim.process(worker(sim))
+        sim.run()
+        assert sim.now == 10 and proc.value == "done"
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = float(start_time)
+        self._queue: list = []
+        self._sequence = 0
+        self._active_process: Optional[Process] = None
+
+    # -- properties --------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events waiting in the queue."""
+        return len(self._queue)
+
+    # -- factories ----------------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a new pending event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` units from now."""
+        return Timeout(self, delay, value)
+
+    def process(
+        self, generator: Generator[Event, Any, Any], name: Optional[str] = None
+    ) -> Process:
+        """Register ``generator`` as a new simulation process."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Condition event succeeding when all ``events`` succeed."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Condition event succeeding at the first success in ``events``."""
+        return AnyOf(self, events)
+
+    # -- scheduling ----------------------------------------------------------
+
+    def _enqueue(self, event: Event, delay: float, priority: int) -> None:
+        self._sequence += 1
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, self._sequence, event)
+        )
+
+    def _enqueue_call(self, callback: Callable[[Event], None], event: Event) -> None:
+        """Schedule an immediate delivery of ``event`` to ``callback``."""
+        bridge = Event(self)
+        bridge._ok = event._ok
+        bridge._value = event._value
+        bridge._defused = True
+        bridge.callbacks = []
+        self._enqueue(bridge, delay=0.0, priority=NORMAL)
+        bridge.add_callback(lambda _bridge: callback(event))
+
+    def step(self) -> None:
+        """Process exactly one event from the queue."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        time, _priority, _seq, event = heapq.heappop(self._queue)
+        if time < self._now:
+            raise SimulationError("event scheduled in the past")  # pragma: no cover
+        self._now = time
+        callbacks = event.callbacks
+        event.callbacks = None
+        event._processed = True
+        if callbacks:
+            for callback in callbacks:
+                callback(event)
+        elif not event._ok and not event._defused:
+            # A failure nobody listened to: surface it.
+            raise event._value
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be:
+
+        - ``None``: run until the event queue drains;
+        - a number: run all events up to that time, then set ``now`` to it;
+        - an :class:`Event`: run until that event has been processed and
+          return its value (re-raising if the event failed).
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+        if isinstance(until, Event):
+            stop = until
+            while not stop._processed:
+                if not self._queue:
+                    raise SimulationError(
+                        "simulation ran out of events before `until` triggered"
+                    )
+                self.step()
+            if not stop._ok:
+                raise stop._value
+            return stop._value
+        horizon = float(until)
+        if horizon < self._now:
+            raise SimulationError(
+                f"run(until={horizon}) is in the past (now={self._now})"
+            )
+        while self._queue and self._queue[0][0] <= horizon:
+            self.step()
+        self._now = horizon
+        return None
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def __repr__(self) -> str:
+        return f"<Simulator now={self._now} queued={len(self._queue)}>"

@@ -1,0 +1,196 @@
+"""Synchronisation primitives built on the kernel events.
+
+These mirror the classic SimPy resources:
+
+- :class:`Resource` -- ``capacity`` tokens, FIFO queueing of requests.
+- :class:`Container` -- a quantity that can be put/got in amounts.
+- :class:`Store` -- a FIFO queue of Python objects with capacity.
+
+The KPN FIFO channels (:mod:`repro.kpn.fifo`) implement their own,
+cache-aware protocol on top of bare events, but these primitives are used
+by the RTOS model, tests and examples.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Event, Simulator
+
+__all__ = ["Container", "Resource", "Store"]
+
+
+class Resource:
+    """A resource with ``capacity`` slots and FIFO request queueing.
+
+    Usage inside a process::
+
+        req = resource.request()
+        yield req
+        ...critical section...
+        resource.release(req)
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError(f"Resource capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._users: set = set()
+        self._waiting: Deque[Event] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently in use."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiting)
+
+    def request(self) -> Event:
+        """Return an event that succeeds once a slot is granted."""
+        event = self.sim.event()
+        if len(self._users) < self.capacity:
+            self._users.add(event)
+            event.succeed()
+        else:
+            self._waiting.append(event)
+        return event
+
+    def release(self, request: Event) -> None:
+        """Release the slot granted to ``request``."""
+        if request in self._users:
+            self._users.remove(request)
+        elif request in self._waiting:
+            # Cancelling a queued request is allowed.
+            self._waiting.remove(request)
+            return
+        else:
+            raise SimulationError("release() of a request that holds no slot")
+        while self._waiting and len(self._users) < self.capacity:
+            nxt = self._waiting.popleft()
+            self._users.add(nxt)
+            nxt.succeed()
+
+
+class Container:
+    """A continuous or discrete quantity with blocking put/get.
+
+    ``get(amount)`` blocks until at least ``amount`` is available;
+    ``put(amount)`` blocks until it fits under ``capacity``.  Pending
+    operations are served in FIFO order without overtaking, which makes
+    the container a fair credit counter.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        capacity: float = float("inf"),
+        init: float = 0.0,
+    ):
+        if capacity <= 0:
+            raise SimulationError("Container capacity must be positive")
+        if not 0 <= init <= capacity:
+            raise SimulationError("Container init must lie in [0, capacity]")
+        self.sim = sim
+        self.capacity = capacity
+        self._level = init
+        self._getters: Deque[tuple] = deque()
+        self._putters: Deque[tuple] = deque()
+
+    @property
+    def level(self) -> float:
+        """Quantity currently stored."""
+        return self._level
+
+    def put(self, amount: float) -> Event:
+        """Add ``amount``; the returned event succeeds when it fits."""
+        if amount < 0:
+            raise SimulationError("Container.put() needs a non-negative amount")
+        if amount > self.capacity:
+            raise SimulationError("put() amount exceeds container capacity")
+        event = self.sim.event()
+        self._putters.append((event, amount))
+        self._settle()
+        return event
+
+    def get(self, amount: float) -> Event:
+        """Remove ``amount``; the returned event succeeds when available."""
+        if amount < 0:
+            raise SimulationError("Container.get() needs a non-negative amount")
+        if amount > self.capacity:
+            raise SimulationError("get() amount exceeds container capacity")
+        event = self.sim.event()
+        self._getters.append((event, amount))
+        self._settle()
+        return event
+
+    def _settle(self) -> None:
+        """Serve queued puts/gets in FIFO order while progress is possible."""
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._putters:
+                event, amount = self._putters[0]
+                if self._level + amount <= self.capacity:
+                    self._putters.popleft()
+                    self._level += amount
+                    event.succeed()
+                    progressed = True
+            if self._getters:
+                event, amount = self._getters[0]
+                if self._level >= amount:
+                    self._getters.popleft()
+                    self._level -= amount
+                    event.succeed(amount)
+                    progressed = True
+
+
+class Store:
+    """A FIFO queue of arbitrary items with bounded capacity."""
+
+    def __init__(self, sim: Simulator, capacity: float = float("inf")):
+        if capacity <= 0:
+            raise SimulationError("Store capacity must be positive")
+        self.sim = sim
+        self.capacity = capacity
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple] = deque()
+
+    @property
+    def items(self) -> tuple:
+        """Snapshot of queued items (oldest first)."""
+        return tuple(self._items)
+
+    def put(self, item: Any) -> Event:
+        """Append ``item``; succeeds once there is room."""
+        event = self.sim.event()
+        self._putters.append((event, item))
+        self._settle()
+        return event
+
+    def get(self) -> Event:
+        """Pop the oldest item; succeeds with the item once available."""
+        event = self.sim.event()
+        self._getters.append(event)
+        self._settle()
+        return event
+
+    def _settle(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._putters and len(self._items) < self.capacity:
+                event, item = self._putters.popleft()
+                self._items.append(item)
+                event.succeed()
+                progressed = True
+            if self._getters and self._items:
+                event = self._getters.popleft()
+                event.succeed(self._items.popleft())
+                progressed = True

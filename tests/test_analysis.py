@@ -1,0 +1,44 @@
+"""Tests for tables, charts and report assembly."""
+
+import pytest
+
+from repro.analysis import ascii_bars, format_table, log_bars
+
+
+def test_format_table_basic():
+    text = format_table(("name", "value"), [("a", 1), ("b", 22)],
+                        title="T")
+    assert "T" in text
+    assert "| a" in text and "22 |" in text
+    lines = text.splitlines()
+    widths = {len(line) for line in lines[1:]}
+    assert len(widths) == 1  # perfectly rectangular
+
+
+def test_format_table_row_width_checked():
+    with pytest.raises(ValueError):
+        format_table(("a", "b"), [("only-one",)])
+
+
+def test_format_table_number_formatting():
+    text = format_table(("n", "v"), [("x", 1234567), ("y", 0.123456)])
+    assert "1,234,567" in text
+    assert "0.123" in text
+
+
+def test_ascii_bars_scale():
+    text = ascii_bars([("a", 100), ("b", 50)], width=10)
+    lines = text.splitlines()
+    assert lines[0].count("#") == 10
+    assert lines[1].count("#") == 5
+
+
+def test_log_bars_pairs():
+    text = log_bars([("x", 1000.0, 10.0)], width=20)
+    assert "#" in text and "=" in text
+    assert "1,000" in text and "10" in text
+
+
+def test_bars_empty_series():
+    assert ascii_bars([]) == ""
+    assert log_bars([], title="t") == "t"

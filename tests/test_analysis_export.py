@@ -1,0 +1,60 @@
+"""Tests for profile/plan persistence."""
+
+import csv
+
+from repro.analysis.export import (
+    load_plan,
+    load_profile,
+    miss_curves_to_csv,
+    save_plan,
+    save_profile,
+)
+from repro.core import MissCurve, PartitionPlan
+from repro.core.profiling import ProfileResult
+
+
+def make_profile():
+    profile = ProfileResult(sizes=[1, 2, 4])
+    curve = MissCurve("task:a")
+    curve.add_sample(1, 100)
+    curve.add_sample(1, 120)  # repeated measurement
+    curve.add_sample(2, 60)
+    curve.add_sample(4, 10)
+    profile.curves["task:a"] = curve
+    profile.accesses["task:a"] = {1: 500.0, 2: 500.0, 4: 500.0}
+    profile.instructions["a"] = 12345
+    return profile
+
+
+def test_profile_roundtrip(tmp_path):
+    profile = make_profile()
+    path = save_profile(profile, tmp_path / "profile.json")
+    loaded = load_profile(path)
+    assert loaded.sizes == profile.sizes
+    assert loaded.instructions == profile.instructions
+    original = profile.curves["task:a"]
+    restored = loaded.curves["task:a"]
+    for units in (1, 2, 4):
+        assert restored.mean(units) == original.mean(units)
+    assert loaded.accesses["task:a"][2] == 500.0
+
+
+def test_plan_roundtrip(tmp_path):
+    plan = PartitionPlan.from_parts(
+        {"task:a": 4}, {"fifo:f": 2}, total_units=32, predicted_misses=42.0
+    )
+    path = save_plan(plan, tmp_path / "plan.json")
+    loaded = load_plan(path)
+    assert loaded.units_by_owner == plan.units_by_owner
+    assert loaded.total_units == 32
+    assert loaded.predicted_misses == 42.0
+    loaded.validate()
+
+
+def test_miss_curves_csv(tmp_path):
+    path = miss_curves_to_csv(make_profile(), tmp_path / "curves.csv")
+    with path.open() as handle:
+        rows = list(csv.reader(handle))
+    assert rows[0] == ["owner", "units", "misses"]
+    assert ["task:a", "1", "110.0"] in rows
+    assert len(rows) == 4

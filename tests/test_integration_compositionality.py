@@ -1,0 +1,160 @@
+"""System-level integration tests of the paper's central claims,
+exercised at test scale.
+
+These encode the *qualitative* properties the paper establishes:
+isolation (no inter-task evictions under partitioning), insensitivity
+to allocation order (§4.1), and per-task miss counts that do not depend
+on co-runners (compositionality).
+"""
+
+from functools import partial
+
+import pytest
+
+from repro.apps import two_jpeg_canny_workload
+from repro.apps.synthetic import make_pipeline
+from repro.cake import CakeConfig, Platform
+from repro.mem.cache import CacheGeometry
+from repro.mem.hierarchy import HierarchyConfig
+from repro.mem.partition import PartitionMode
+
+
+def small_config(**kwargs):
+    defaults = dict(
+        n_cpus=2,
+        hierarchy=HierarchyConfig(
+            l1_geometry=CacheGeometry(sets=16, ways=2, line_size=64),
+            l2_geometry=CacheGeometry(sets=256, ways=4, line_size=64),
+        ),
+    )
+    defaults.update(kwargs)
+    return CakeConfig(**defaults)
+
+
+def full_allocation(platform):
+    """Every owner partitioned: tasks 2 units, buffers ring/window-sized."""
+    units = {}
+    unit_bytes = platform.config.unit_bytes
+    for task in platform.network.tasks:
+        units[f"task:{task}"] = 2
+    for name, fifo in platform.network.fifos.items():
+        units[f"fifo:{name}"] = max(1, -(-fifo.buffer_bytes // unit_bytes))
+    for name, frame in platform.network.frames.items():
+        units[f"frame:{name}"] = max(1, -(-frame.window_bytes // unit_bytes))
+    for region in ("appl.data", "appl.bss", "rt.data", "rt.bss"):
+        units[region] = 1
+    return units
+
+
+def run_partitioned(network, config=None, malloc_order=None):
+    platform = Platform(
+        network, config or small_config(),
+        mode=PartitionMode.SET_PARTITIONED, malloc_order=malloc_order,
+    )
+    platform.cache_controller.program_set_partitions(
+        full_allocation(platform)
+    )
+    return platform.run()
+
+
+def test_partitioning_eliminates_all_interference():
+    config = small_config(
+        hierarchy=HierarchyConfig(
+            l1_geometry=CacheGeometry(sets=16, ways=2, line_size=64),
+            l2_geometry=CacheGeometry(sets=1024, ways=4, line_size=64),
+        ),
+    )
+    metrics = run_partitioned(two_jpeg_canny_workload(scale="test"), config)
+    assert metrics.l2_cross_evictions == 0
+
+
+def test_shared_cache_has_interference():
+    platform = Platform(
+        two_jpeg_canny_workload(scale="test", frames=2), small_config()
+    )
+    metrics = platform.run()
+    assert metrics.l2_cross_evictions > 0
+
+
+def test_malloc_order_changes_shared_but_not_partitioned():
+    """§4.1: address placement affects a shared cache; partitions do not
+    care because the translation ignores region placement."""
+    def build():
+        return make_pipeline(n_stages=3, n_tokens=16, work_bytes=8192)
+
+    default_order = None
+    from repro.rtos.shmalloc import _default_order
+    reversed_order = list(reversed(_default_order(build())))
+
+    config = small_config()
+    shared = []
+    partitioned = []
+    for order in (default_order, reversed_order):
+        platform = Platform(build(), config, malloc_order=order,
+                            placement="bump")
+        shared.append(platform.run().l2_misses)
+        partitioned.append(
+            Platform(build(), config, mode=PartitionMode.SET_PARTITIONED,
+                     malloc_order=order, placement="bump")
+        )
+    results = []
+    for platform in partitioned:
+        platform.cache_controller.program_set_partitions(
+            full_allocation(platform)
+        )
+        results.append(platform.run().l2_misses)
+    assert shared[0] != shared[1]
+    assert results[0] == results[1]
+
+
+def test_per_task_misses_independent_of_corunners():
+    """The compositionality property itself: a task's partitioned miss
+    count does not change when unrelated co-runners change behaviour."""
+    def build(extra_work):
+        network = make_pipeline(n_stages=4, n_tokens=12, work_bytes=4096)
+        network.tasks["stage1"].params["work_bytes"] = extra_work
+        return network
+
+    results = []
+    for extra in (1024, 16384):
+        platform = Platform(
+            build(extra), small_config(), mode=PartitionMode.SET_PARTITIONED
+        )
+        platform.cache_controller.program_set_partitions(
+            full_allocation(platform)
+        )
+        metrics = platform.run()
+        results.append(metrics.l2_by_owner["task:stage3"].misses)
+    assert results[0] == results[1]
+
+
+def test_way_partitioning_granularity_limit():
+    """Column caching cannot isolate more owners than there are ways --
+    with 15 tasks on a 4-way cache most owners must share columns."""
+    network = two_jpeg_canny_workload(scale="test")
+    platform = Platform(
+        network, small_config(),
+        mode=PartitionMode.WAY_PARTITIONED,
+    )
+    # Only 4 owners can get exclusive ways; give one way each to the
+    # four largest tasks, everyone else keeps all-way allocation.
+    names = list(network.tasks)[:4]
+    ways = {f"task:{name}": (i,) for i, name in enumerate(names)}
+    platform.cache_controller.program_way_partitions(ways)
+    metrics = platform.run()
+    # The un-isolated majority still interferes.
+    assert metrics.l2_cross_evictions > 0
+
+
+def test_shared_pool_confines_unpartitioned_owners():
+    network = make_pipeline(n_stages=3, n_tokens=8)
+    platform = Platform(
+        network, small_config(), mode=PartitionMode.SET_PARTITIONED
+    )
+    # Partition only one task; everything else falls in the pool.
+    platform.cache_controller.program_set_partitions({"task:stage0": 2})
+    metrics = platform.run()
+    owner = platform.registry.id_of("task:stage0")
+    for (evictor, victim) in platform.mem.l2_stats.eviction_matrix:
+        if victim == owner:
+            assert evictor == owner, "pool owner evicted a partitioned line"

@@ -1,0 +1,161 @@
+"""Tests for Resource, Container and Store."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Container, Resource, Simulator, Store
+
+
+def test_resource_grants_up_to_capacity():
+    sim = Simulator()
+    resource = Resource(sim, capacity=2)
+    first, second, third = resource.request(), resource.request(), resource.request()
+    sim.run()
+    assert first.processed and second.processed
+    assert not third.triggered
+    assert resource.count == 2 and resource.queue_length == 1
+
+
+def test_resource_release_wakes_waiter():
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+    first = resource.request()
+    second = resource.request()
+    sim.run()
+    assert not second.triggered
+    resource.release(first)
+    sim.run()
+    assert second.processed
+    assert resource.count == 1
+
+
+def test_resource_release_unknown_rejected():
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+    with pytest.raises(SimulationError):
+        resource.release(sim.event())
+
+
+def test_resource_cancel_queued_request():
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+    first = resource.request()
+    second = resource.request()
+    resource.release(second)  # cancel while queued
+    assert resource.queue_length == 0
+    resource.release(first)
+    assert resource.count == 0
+
+
+def test_resource_capacity_validation():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        Resource(sim, capacity=0)
+
+
+def test_resource_mutual_exclusion_in_processes():
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+    inside = []
+
+    def worker(sim, tag):
+        req = resource.request()
+        yield req
+        inside.append(tag)
+        assert len(inside) == 1
+        yield sim.timeout(5)
+        inside.remove(tag)
+        resource.release(req)
+
+    sim.process(worker(sim, "a"))
+    sim.process(worker(sim, "b"))
+    sim.run()
+    assert sim.now == 10
+
+
+def test_container_levels_and_blocking():
+    sim = Simulator()
+    tank = Container(sim, capacity=10, init=0)
+    got = tank.get(4)
+    assert not got.triggered
+    tank.put(3)
+    sim.run()
+    assert not got.triggered
+    tank.put(2)
+    sim.run()
+    assert got.processed
+    assert tank.level == 1
+
+
+def test_container_put_blocks_when_full():
+    sim = Simulator()
+    tank = Container(sim, capacity=5, init=5)
+    put = tank.put(2)
+    sim.run()
+    assert not put.triggered
+    tank.get(3)
+    sim.run()
+    assert put.processed
+    assert tank.level == 4
+
+
+def test_container_fifo_no_overtaking():
+    sim = Simulator()
+    tank = Container(sim, capacity=100, init=0)
+    big = tank.get(10)
+    small = tank.get(1)
+    tank.put(5)
+    sim.run()
+    # The small get must not overtake the big one.
+    assert not big.triggered and not small.triggered
+    tank.put(6)
+    sim.run()
+    assert big.processed and small.processed
+
+
+def test_container_validation():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        Container(sim, capacity=0)
+    with pytest.raises(SimulationError):
+        Container(sim, capacity=5, init=6)
+    tank = Container(sim, capacity=5)
+    with pytest.raises(SimulationError):
+        tank.put(-1)
+    with pytest.raises(SimulationError):
+        tank.get(6)
+
+
+def test_store_fifo_order():
+    sim = Simulator()
+    store = Store(sim, capacity=10)
+    for item in ("a", "b", "c"):
+        store.put(item)
+    results = [store.get(), store.get(), store.get()]
+    sim.run()
+    assert [event.value for event in results] == ["a", "b", "c"]
+
+
+def test_store_capacity_blocks_put():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    store.put("x")
+    blocked = store.put("y")
+    sim.run()
+    assert not blocked.triggered
+    got = store.get()
+    sim.run()
+    assert got.value == "x"
+    assert blocked.processed
+    assert store.items == ("y",)
+
+
+def test_store_get_blocks_until_item():
+    sim = Simulator()
+    store = Store(sim)
+    got = store.get()
+    sim.run()
+    assert not got.triggered
+    store.put(42)
+    sim.run()
+    assert got.value == 42
