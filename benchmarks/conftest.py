@@ -19,6 +19,15 @@ from repro.core import CompositionalMethod, MethodConfig
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "perf_smoke: throughput regression gate for the fast hierarchy "
+        "engine (run with: pytest benchmarks/bench_engine_speed.py "
+        "-m perf_smoke)",
+    )
+
 #: Allocation-size menu (units) used by every profiling sweep.
 SIZE_MENU = [1, 2, 4, 8, 16, 32, 64]
 

@@ -17,6 +17,7 @@ returned) or a cycle horizon passes, and returns a
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Dict, List, Optional, Sequence
 
 from repro.cake.config import CakeConfig
@@ -48,9 +49,18 @@ class Platform:
         mode: PartitionMode = PartitionMode.SHARED,
         malloc_order: Optional[Sequence[str]] = None,
         placement: str = "scatter",
+        engine: Optional[str] = None,
     ):
         self.network = network
         self.config = config if config is not None else CakeConfig()
+        if engine is not None:
+            # Per-platform override of the hierarchy engine without
+            # rebuilding the whole config tree ("reference" runs the
+            # differential-testing oracle end to end).
+            self.config = replace(
+                self.config,
+                hierarchy=replace(self.config.hierarchy, engine=engine),
+            )
         self.mode = mode
         network.validate()
 

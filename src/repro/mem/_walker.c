@@ -1,0 +1,263 @@
+/* Fast hierarchy walker: the L1/L2 walk of repro.mem.hierarchy in C.
+ *
+ * Compiled on demand by repro.mem.cwalker with the system C compiler
+ * and loaded through ctypes; when no compiler is available the Python
+ * walker in hierarchy.py runs instead.  The routine replays, run by
+ * run, exactly the state sequence of the reference engine:
+ *
+ *   L1 probe -> (miss) L1 fill + eviction -> dirty-victim writeback
+ *   probe into the L2 -> L2 probe (demand or store fill) -> L2 fill +
+ *   eviction -> DRAM bank timing.
+ *
+ * Cache state arrives as flat arrays (one row of `ways` slots per set,
+ * slot 0 = MRU, parallel owner/dirty arrays, per-set lengths); the
+ * caller rebuilds the Python-side dict/list state from the mutated
+ * arrays afterwards.  Statistics are not computed here: the kernel
+ * emits one flag byte and victim-owner slots per run, which the caller
+ * reduces with numpy.  Cold-miss classification needs no support at
+ * all -- a line's first-ever access always misses, so the caller can
+ * derive cold runs from batch-first occurrences and its seen-sets.
+ *
+ * Flag bits per run (matching repro.mem.cwalker.FLAG_*):
+ *   1  L1 miss (implies one L2 probe: demand or store fill)
+ *   2  L2 demand miss (DRAM line read)
+ *   4  L1 eviction (victim owner in l1_victim_owner[i])
+ *   8  L2 eviction (victim owner in l2_victim_owner[i])
+ *  16  the L1 victim was dirty (writeback transfer towards the L2)
+ *  32  the L2 victim was dirty (DRAM line write)
+ *  64  the L2 probe missed (demand or store fill; drives the caller's
+ *      seen-set bookkeeping -- only misses mark a line "seen")
+ *
+ * counters[0..2] = DRAM line writes, read bank conflicts, write bank
+ * conflicts.
+ */
+
+#include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
+
+#define FLAG_L1_MISS 1
+#define FLAG_L2_DEMAND_MISS 2
+#define FLAG_L1_EVICT 4
+#define FLAG_L2_EVICT 8
+#define FLAG_L1_WB 16
+#define FLAG_L2_WB 32
+#define FLAG_L2_PROBE_MISS 64
+
+/* Mark the first occurrence of every distinct value (open-addressing
+ * hash set; values must be non-negative -- line addresses are).  The
+ * numpy equivalent, np.unique(..., return_index=True), needs a stable
+ * argsort and costs ~20x more.  Returns 0, or 1 when allocation fails
+ * (the caller then falls back to numpy). */
+int first_occurrence(const int64_t *values, int64_t n, uint8_t *is_first) {
+    uint64_t capacity = 16;
+    while (capacity < (uint64_t)(2 * n)) capacity <<= 1;
+    int64_t *table = (int64_t *)malloc(capacity * sizeof(int64_t));
+    if (table == NULL) return 1;
+    memset(table, 0xff, capacity * sizeof(int64_t)); /* all slots = -1 */
+    uint64_t mask = capacity - 1;
+    for (int64_t i = 0; i < n; i++) {
+        int64_t v = values[i];
+        uint64_t slot = ((uint64_t)v * 0x9E3779B97F4A7C15ULL) >> 17 & mask;
+        for (;;) {
+            int64_t entry = table[slot];
+            if (entry == v) {
+                is_first[i] = 0;
+                break;
+            }
+            if (entry == -1) {
+                table[slot] = v;
+                is_first[i] = 1;
+                break;
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+    free(table);
+    return 0;
+}
+
+/* One bank-model update; mirrors MainMemory.access timing exactly. */
+static inline int bank_touch(double *bank_free, int64_t bank, double now,
+                             int64_t bank_busy) {
+    double free_at = bank_free[bank];
+    int conflict = now < free_at;
+    bank_free[bank] = (free_at > now ? free_at : now) + (double)bank_busy;
+    return conflict;
+}
+
+void walk_batch(
+    int64_t n_runs,
+    const int64_t *lines, const int64_t *l1_idx, const int64_t *l2_idx,
+    const uint8_t *write_any, const uint8_t *store_fill,
+    /* L1 state (always LRU) */
+    int64_t l1_ways,
+    int64_t *l1_lines, int64_t *l1_owners, uint8_t *l1_dirty,
+    int32_t *l1_len,
+    /* L2 state */
+    int64_t l2_ways, int64_t l2_is_lru,
+    int64_t *l2_lines, int64_t *l2_owners, uint8_t *l2_dirty,
+    int32_t *l2_len,
+    const int64_t *run_owners,
+    /* writeback index translation: owner -> set group.  With
+     * use_table == 0 the conventional mask applies; otherwise owner o
+     * uses row min(o, n_table) (row n_table is the default mapping). */
+    int64_t use_table, int64_t n_table,
+    const int64_t *table_base, const int64_t *table_size,
+    const uint8_t *table_pow2,
+    int64_t l2_mask,
+    /* DRAM banks */
+    double now, int64_t bank_mask, int64_t bank_busy, double *bank_free,
+    /* outputs */
+    uint8_t *flags, int64_t *l1_victim_owner, int64_t *l2_victim_owner,
+    int64_t *counters)
+{
+    int64_t dram_writes = 0, read_conflicts = 0, write_conflicts = 0;
+
+    for (int64_t i = 0; i < n_runs; i++) {
+        int64_t line = lines[i];
+        int64_t si = l1_idx[i];
+        int64_t *row = l1_lines + si * l1_ways;
+        int32_t len = l1_len[si];
+        int64_t k;
+        uint8_t f = 0;
+        int write = write_any[i];
+
+        /* ---- L1 probe ------------------------------------------------ */
+        for (k = 0; k < len; k++) {
+            if (row[k] == line) break;
+        }
+        if (k < len) {
+            /* Hit: LRU rotation of the slot triple to position 0. */
+            if (k > 0) {
+                int64_t *orow = l1_owners + si * l1_ways;
+                uint8_t *drow = l1_dirty + si * l1_ways;
+                int64_t own = orow[k];
+                uint8_t dir = drow[k];
+                memmove(row + 1, row, k * sizeof(int64_t));
+                memmove(orow + 1, orow, k * sizeof(int64_t));
+                memmove(drow + 1, drow, k * sizeof(uint8_t));
+                row[0] = line;
+                orow[0] = own;
+                drow[0] = dir;
+            }
+            if (write) l1_dirty[si * l1_ways] = 1;
+            flags[i] = 0;
+            continue;
+        }
+
+        /* ---- L1 miss + fill ------------------------------------------ */
+        f = FLAG_L1_MISS;
+        int64_t owner = run_owners[i];
+        int64_t *orow = l1_owners + si * l1_ways;
+        uint8_t *drow = l1_dirty + si * l1_ways;
+        int64_t wb_line = -1, wb_owner = 0;
+        if (len >= l1_ways) {
+            int64_t victim = row[len - 1];
+            f |= FLAG_L1_EVICT;
+            l1_victim_owner[i] = orow[len - 1];
+            if (drow[len - 1]) {
+                f |= FLAG_L1_WB;
+                wb_line = victim;
+                wb_owner = orow[len - 1];
+            }
+            len--;
+        }
+        memmove(row + 1, row, len * sizeof(int64_t));
+        memmove(orow + 1, orow, len * sizeof(int64_t));
+        memmove(drow + 1, drow, len * sizeof(uint8_t));
+        row[0] = line;
+        orow[0] = owner;
+        drow[0] = (uint8_t)write;
+        l1_len[si] = len + 1;
+
+        /* ---- dirty L1 victim written back through the L2 ------------- */
+        if (wb_line >= 0) {
+            int64_t wb_si;
+            if (use_table) {
+                int64_t r = wb_owner < n_table ? wb_owner : n_table;
+                int64_t size = table_size[r];
+                wb_si = table_base[r] + (table_pow2[r]
+                                             ? (wb_line & (size - 1))
+                                             : (wb_line % size));
+            } else {
+                wb_si = wb_line & l2_mask;
+            }
+            int64_t *wrow = l2_lines + wb_si * l2_ways;
+            int32_t wlen = l2_len[wb_si];
+            int64_t j;
+            for (j = 0; j < wlen; j++) {
+                if (wrow[j] == wb_line) break;
+            }
+            if (j < wlen) {
+                /* probe_writeback: update in place, no recency change */
+                l2_dirty[wb_si * l2_ways + j] = 1;
+            } else {
+                write_conflicts +=
+                    bank_touch(bank_free, wb_line & bank_mask, now, bank_busy);
+                dram_writes++;
+            }
+        }
+
+        /* ---- L2 probe (demand access or store fill) ------------------ */
+        int sfill = store_fill[i];
+        int64_t l2i = l2_idx[i];
+        int64_t *row2 = l2_lines + l2i * l2_ways;
+        int64_t *orow2 = l2_owners + l2i * l2_ways;
+        uint8_t *drow2 = l2_dirty + l2i * l2_ways;
+        int32_t len2 = l2_len[l2i];
+        for (k = 0; k < len2; k++) {
+            if (row2[k] == line) break;
+        }
+        if (k < len2) {
+            /* L2 hit (FIFO keeps its order; LRU rotates to MRU). */
+            if (l2_is_lru && k > 0) {
+                int64_t own = orow2[k];
+                uint8_t dir = drow2[k];
+                memmove(row2 + 1, row2, k * sizeof(int64_t));
+                memmove(orow2 + 1, orow2, k * sizeof(int64_t));
+                memmove(drow2 + 1, drow2, k * sizeof(uint8_t));
+                row2[0] = line;
+                orow2[0] = own;
+                drow2[0] = dir;
+                k = 0;
+            }
+            if (write) drow2[k] = 1;
+            flags[i] = f;
+            continue;
+        }
+
+        /* L2 miss: store fills allocate but fetch nothing. */
+        f |= FLAG_L2_PROBE_MISS;
+        if (len2 >= l2_ways) {
+            f |= FLAG_L2_EVICT;
+            l2_victim_owner[i] = orow2[len2 - 1];
+            if (drow2[len2 - 1]) {
+                f |= FLAG_L2_WB;
+                int64_t victim = row2[len2 - 1];
+                write_conflicts +=
+                    bank_touch(bank_free, victim & bank_mask, now, bank_busy);
+                dram_writes++;
+            }
+            len2--;
+        }
+        memmove(row2 + 1, row2, len2 * sizeof(int64_t));
+        memmove(orow2 + 1, orow2, len2 * sizeof(int64_t));
+        memmove(drow2 + 1, drow2, len2 * sizeof(uint8_t));
+        row2[0] = line;
+        orow2[0] = owner;
+        drow2[0] = (uint8_t)write;
+        l2_len[l2i] = len2 + 1;
+
+        if (!sfill) {
+            f |= FLAG_L2_DEMAND_MISS;
+            read_conflicts +=
+                bank_touch(bank_free, line & bank_mask, now, bank_busy);
+        }
+        flags[i] = f;
+    }
+
+    counters[0] = dram_writes;
+    counters[1] = read_conflicts;
+    counters[2] = write_conflicts;
+}

@@ -2,16 +2,23 @@
 
 Two cache classes share one statistics implementation:
 
-- :class:`SetAssociativeCache` -- the main model.  Each set is a plain
-  Python list of line addresses kept in recency order (index 0 = MRU),
-  which makes LRU a list rotation and keeps the per-access cost low.
+- :class:`SetAssociativeCache` -- the main model.  Hit probes are O(1):
+  a dict maps each resident line address to the set index it lives in,
+  so membership is one hash lookup instead of a scan over the ways.
+  Each set additionally keeps a plain Python list of line addresses in
+  recency order (index 0 = MRU) -- the array-based LRU/FIFO order used
+  for victim selection (the tail is the victim for both policies).
   The *set index is supplied by the caller*, because under the paper's
   partitioning scheme the index is computed by translating the
   conventional index field through a per-owner table
   (:mod:`repro.mem.partition`).  Consequently lines are identified by
   their full line address ("full-line tags"): with index translation,
   two addresses with different natural indices can land in the same set,
-  so the usual truncated tag would alias.
+  so the usual truncated tag would alias.  The model assumes the
+  line-to-set mapping is stable between accesses; reprogramming the
+  partition map requires invalidating affected lines first (see
+  :meth:`SetAssociativeCache.invalidate_owner` and
+  :meth:`~repro.mem.hierarchy.MemorySystem.repartition`).
 
 - :class:`WayManagedCache` -- the column-caching baseline ([10], [8] in
   the paper).  Sets are arrays of explicit ways; an owner may *hit* on
@@ -203,6 +210,8 @@ class SetAssociativeCache:
         self.stats = CacheStats()
         # One recency-ordered list of line addresses per set (0 = MRU).
         self._sets: List[List[int]] = [[] for _ in range(geometry.sets)]
+        # line address -> set index it is resident in: the O(1) hit probe.
+        self._where: Dict[int, int] = {}
         # line address -> owner id, for eviction attribution.
         self._owner_of: Dict[int, int] = {}
         # Dirty lines (write-back policy).
@@ -250,16 +259,11 @@ class SetAssociativeCache:
             self.stats.per_owner[owner] = stats
         stats.accesses += n
 
-        try:
-            pos = lines.index(line_addr)
-        except ValueError:
-            pos = -1
-
-        if pos >= 0:
-            # Hit.
+        if self._where.get(line_addr) == set_index:
+            # Hit -- one dict probe, no scan over the ways.
             stats.hits += n
-            if self.policy == "lru" and pos != 0:
-                del lines[pos]
+            if self.policy == "lru" and lines[0] != line_addr:
+                lines.remove(line_addr)
                 lines.insert(0, line_addr)
             if write:
                 self._dirty.add(line_addr)
@@ -276,7 +280,7 @@ class SetAssociativeCache:
         evicted: Optional[Tuple[int, int, bool]] = None
         if len(lines) >= self.geometry.ways:
             victim = self._select_victim(lines)
-            lines.remove(victim)
+            del self._where[victim]
             victim_owner = self._owner_of.pop(victim)
             victim_dirty = victim in self._dirty
             if victim_dirty:
@@ -290,19 +294,22 @@ class SetAssociativeCache:
             evicted = (victim, victim_owner, victim_dirty)
 
         lines.insert(0, line_addr)
+        self._where[line_addr] = set_index
         self._owner_of[line_addr] = owner
         if write:
             self._dirty.add(line_addr)
         return False, cold, evicted
 
     def _select_victim(self, lines: List[int]) -> int:
-        """Pick the line to evict from a full set."""
+        """Remove and return the line to evict from a full set."""
         if self.policy == "random":
-            return lines[int(self._rng.integers(len(lines)))]
+            victim = lines[int(self._rng.integers(len(lines)))]
+            lines.remove(victim)
+            return victim
         # For both LRU and FIFO the victim is the tail of the list: LRU
         # reorders on hit, FIFO does not, so the tail is respectively the
         # least recently used and the oldest inserted line.
-        return lines[-1]
+        return lines.pop()
 
     def probe_writeback(self, line_addr: int, set_index: int, owner: int) -> bool:
         """Non-allocating write-back probe.
@@ -313,38 +320,115 @@ class SetAssociativeCache:
         victim-write path.  Does not touch recency order and is not
         counted as a demand access.
         """
-        lines = self._sets[set_index]
-        if line_addr in lines:
+        if self._where.get(line_addr) == set_index:
             self._dirty.add(line_addr)
             return True
         return False
 
     # -- maintenance ----------------------------------------------------------
 
-    def invalidate_all(self) -> int:
-        """Drop every line; returns the number of dirty lines lost."""
-        n_dirty = len(self._dirty)
+    def invalidate_all(self) -> List[Tuple[int, int]]:
+        """Drop every line; returns the dirty victims for the caller to flush.
+
+        The result is a list of ``(line_addr, owner)`` pairs in address
+        order (deterministic, so a caller flushing them to DRAM sees a
+        reproducible bank sequence).  Each dirty victim is counted as a
+        writeback of its owner -- invalidation must not silently lose
+        DRAM traffic.
+        """
+        flushed = sorted(
+            (line, self._owner_of[line]) for line in self._dirty
+        )
+        for _line, owner in flushed:
+            self.stats.owner(owner).writebacks += 1
         for lines in self._sets:
             lines.clear()
+        self._where.clear()
         self._owner_of.clear()
         self._dirty.clear()
-        return n_dirty
+        return flushed
 
-    def invalidate_owner(self, owner: int) -> int:
-        """Drop all lines of one owner (partition reprogramming)."""
+    def invalidate_owner(self, owner: int) -> List[int]:
+        """Drop all lines of one owner (partition reprogramming).
+
+        Returns the owner's dirty line addresses in address order; the
+        caller is responsible for writing them back.  Dirty victims are
+        counted in the owner's ``writebacks``.
+        """
         victims = [line for line, who in self._owner_of.items() if who == owner]
+        flushed = sorted(line for line in victims if line in self._dirty)
         for line in victims:
             self._owner_of.pop(line)
+            self._where.pop(line)
             self._dirty.discard(line)
+        if flushed:
+            self.stats.owner(owner).writebacks += len(flushed)
         if victims:
             victim_set = set(victims)
             for lines in self._sets:
                 lines[:] = [line for line in lines if line not in victim_set]
-        return len(victims)
+        return flushed
 
     def forget_history(self) -> None:
         """Reset the cold-miss classifier (new measurement epoch)."""
         self._seen.clear()
+
+    # -- bulk state exchange with the C walker -------------------------------
+
+    def export_state(self):
+        """Flatten the contents to parallel arrays for the C walker.
+
+        Returns ``(lines, owners, dirty, lens)``: per set, ``ways``
+        slots in recency order (slot 0 = MRU, unused slots hold -1 /
+        zero), plus the per-set occupancy.  See
+        :mod:`repro.mem.cwalker`.
+        """
+        geometry = self.geometry
+        ways = geometry.ways
+        n_slots = geometry.sets * ways
+        lines = np.full(n_slots, -1, dtype=np.int64)
+        owners = np.zeros(n_slots, dtype=np.int64)
+        dirty = np.zeros(n_slots, dtype=np.uint8)
+        lens = np.zeros(geometry.sets, dtype=np.int32)
+        owner_of = self._owner_of
+        dirty_set = self._dirty
+        for set_index, slist in enumerate(self._sets):
+            if not slist:
+                continue
+            lens[set_index] = len(slist)
+            base = set_index * ways
+            for k, line in enumerate(slist):
+                lines[base + k] = line
+                owners[base + k] = owner_of[line]
+                if line in dirty_set:
+                    dirty[base + k] = 1
+        return lines, owners, dirty, lens
+
+    def import_state(self, lines, owners, dirty, lens) -> None:
+        """Rebuild the dict/list state from :meth:`export_state` arrays."""
+        ways = self.geometry.ways
+        lines_l = lines.tolist()
+        owners_l = owners.tolist()
+        dirty_l = dirty.tolist()
+        lens_l = lens.tolist()
+        sets = self._sets
+        where: Dict[int, int] = {}
+        owner_of: Dict[int, int] = {}
+        dirty_set: set = set()
+        for set_index in range(self.geometry.sets):
+            count = lens_l[set_index]
+            base = set_index * ways
+            slist = lines_l[base:base + count]
+            sets[set_index] = slist
+            for k in range(count):
+                line = slist[k]
+                where[line] = set_index
+                owner_of[line] = owners_l[base + k]
+                if dirty_l[base + k]:
+                    dirty_set.add(line)
+        self._where = where
+        self._owner_of = owner_of
+        self._dirty = dirty_set
 
     def __repr__(self) -> str:
         return (
@@ -447,6 +531,26 @@ class WayManagedCache:
                 self._dirty.add(line_addr)
                 return True
         return False
+
+    def invalidate_all(self) -> List[Tuple[int, int]]:
+        """Drop every line; returns dirty ``(line, owner)`` victims to flush.
+
+        Mirrors :meth:`SetAssociativeCache.invalidate_all`: dirty victims
+        are counted as writebacks of their owner and handed to the caller
+        in address order.
+        """
+        flushed: List[Tuple[int, int]] = []
+        for set_index, slot_lines in enumerate(self._line):
+            for way, line in enumerate(slot_lines):
+                if line is not None and line in self._dirty:
+                    flushed.append((line, self._owner[set_index][way]))
+            slot_lines[:] = [None] * self.geometry.ways
+            self._stamp[set_index] = [0] * self.geometry.ways
+        flushed.sort()
+        for _line, owner in flushed:
+            self.stats.owner(owner).writebacks += 1
+        self._dirty.clear()
+        return flushed
 
     def forget_history(self) -> None:
         """Reset the cold-miss classifier."""

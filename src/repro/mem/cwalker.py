@@ -1,0 +1,139 @@
+"""On-demand C backend of the fast hierarchy engine.
+
+The per-run walk of :mod:`repro.mem.hierarchy` is bound by the
+interpreter, not by the data structures -- even a fully inlined Python
+loop costs a couple of microseconds per run.  This module compiles the
+equivalent C routine (``_walker.c``, shipped next to this file) with the
+system compiler the first time it is needed and binds it through
+:mod:`ctypes`.  Everything degrades gracefully: no compiler, a failed
+compilation or an unwritable build directory simply mean
+:func:`load` returns ``None`` and the Python walker runs.
+
+The compiled object is cached under ``<package>/_build/`` keyed by the
+source content hash, so recompilation happens only when ``_walker.c``
+changes.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import sysconfig
+from typing import Optional
+
+__all__ = ["load", "FLAG_L1_MISS", "FLAG_L2_DEMAND_MISS", "FLAG_L1_EVICT",
+           "FLAG_L2_EVICT", "FLAG_L1_WB", "FLAG_L2_WB",
+           "FLAG_L2_PROBE_MISS"]
+
+#: Flag bits emitted per run; must match ``_walker.c``.
+FLAG_L1_MISS = 1
+FLAG_L2_DEMAND_MISS = 2
+FLAG_L1_EVICT = 4
+FLAG_L2_EVICT = 8
+FLAG_L1_WB = 16
+FLAG_L2_WB = 32
+FLAG_L2_PROBE_MISS = 64
+
+_SOURCE = os.path.join(os.path.dirname(__file__), "_walker.c")
+_BUILD_DIR = os.path.join(os.path.dirname(__file__), "_build")
+
+_walker = None
+_load_attempted = False
+
+
+def _find_compiler() -> Optional[str]:
+    for name in (os.environ.get("CC"), "cc", "gcc", "clang"):
+        if name and shutil.which(name):
+            return name
+    return None
+
+
+def _compile() -> Optional[str]:
+    """Compile ``_walker.c``; returns the shared-object path or ``None``."""
+    try:
+        with open(_SOURCE, "rb") as fh:
+            source = fh.read()
+    except OSError:
+        return None
+    digest = hashlib.sha256(source).hexdigest()[:16]
+    suffix = sysconfig.get_config_var("EXT_SUFFIX") or ".so"
+    so_path = os.path.join(_BUILD_DIR, f"_walker_{digest}{suffix}")
+    if os.path.exists(so_path):
+        return so_path
+    compiler = _find_compiler()
+    if compiler is None:
+        return None
+    try:
+        os.makedirs(_BUILD_DIR, exist_ok=True)
+        tmp_path = so_path + f".tmp{os.getpid()}"
+        subprocess.run(
+            [compiler, "-O2", "-shared", "-fPIC", "-o", tmp_path, _SOURCE],
+            check=True,
+            capture_output=True,
+            timeout=120,
+        )
+        os.replace(tmp_path, so_path)  # atomic wrt concurrent builders
+    except (OSError, subprocess.SubprocessError):
+        return None
+    return so_path
+
+
+class CWalker:
+    """Bound routines of the compiled walker library."""
+
+    def __init__(self, walk_batch, first_occurrence):
+        self.walk_batch = walk_batch
+        self.first_occurrence = first_occurrence
+
+
+def load() -> Optional[CWalker]:
+    """The bound :class:`CWalker`, or ``None`` when unavailable.
+
+    The first call pays the (cached) compilation; later calls return
+    the memoised binding.  Set ``REPRO_NO_CWALKER=1`` to force the pure
+    Python engine, e.g. for benchmarking the interpreter tiers.
+    """
+    global _walker, _load_attempted
+    if _load_attempted:
+        return _walker
+    _load_attempted = True
+    if os.environ.get("REPRO_NO_CWALKER"):
+        return None
+    so_path = _compile()
+    if so_path is None:
+        return None
+    try:
+        lib = ctypes.CDLL(so_path)
+        walk = lib.walk_batch
+        first = lib.first_occurrence
+    except (OSError, AttributeError):
+        return None
+    i64 = ctypes.c_int64
+    p_i64 = ctypes.POINTER(ctypes.c_int64)
+    p_i32 = ctypes.POINTER(ctypes.c_int32)
+    p_u8 = ctypes.POINTER(ctypes.c_uint8)
+    p_f64 = ctypes.POINTER(ctypes.c_double)
+    walk.restype = None
+    walk.argtypes = [
+        i64,                      # n_runs
+        p_i64, p_i64, p_i64,      # lines, l1_idx, l2_idx
+        p_u8, p_u8,               # write_any, store_fill
+        i64,                      # l1_ways
+        p_i64, p_i64, p_u8, p_i32,  # L1 lines/owners/dirty/len
+        i64, i64,                 # l2_ways, l2_is_lru
+        p_i64, p_i64, p_u8, p_i32,  # L2 lines/owners/dirty/len
+        p_i64,                    # run_owners
+        i64, i64,                 # use_table, n_table
+        p_i64, p_i64, p_u8,       # table base/size/pow2
+        i64,                      # l2_mask
+        ctypes.c_double, i64, i64, p_f64,  # now, bank_mask, bank_busy, banks
+        p_u8, p_i64, p_i64,       # flags, l1_victim_owner, l2_victim_owner
+        p_i64,                    # counters[3]
+    ]
+    first.restype = ctypes.c_int
+    first.argtypes = [p_i64, i64, p_u8]
+    _walker = CWalker(walk, first)
+    return _walker

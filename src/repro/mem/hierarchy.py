@@ -17,9 +17,30 @@ The walker consumes *runs* (see :mod:`repro.mem.trace`): one cache probe
 per run, with the run length counted as accesses.  L1 and L2 must share
 a line size for the run semantics to be exact; the constructor enforces
 this.
+
+Two engines implement the walk:
+
+- ``engine="reference"`` -- one method call per run into the cache
+  models.  Slow but obviously faithful; it is the differential-testing
+  oracle.
+- ``engine="fast"`` (the default) -- vectorises everything that does
+  not depend on cache state (owner resolution, L1/L2 set indices, the
+  run decomposition itself), walks the runs with the cache and DRAM
+  state inlined as local dicts/lists, and defers all per-owner
+  statistics to a batched ``bincount`` flush after the walk.  Pure
+  L1-hit runs cost a single dict probe; only L1-miss runs enter the
+  larger slow path.  The two engines produce bit-identical statistics,
+  which the differential test suite asserts.
+
+The fast engine silently falls back to the reference walk for the rare
+configurations it does not specialise (a ``random`` L2 replacement
+policy, or negative owner ids).
 """
 
 from __future__ import annotations
+
+import ctypes
+import gc
 
 from dataclasses import dataclass, field
 from typing import List, Optional
@@ -27,6 +48,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.errors import ConfigurationError, MemoryModelError
+from repro.mem import cwalker
 from repro.mem.bus import BusConfig, SharedBus
 from repro.mem.cache import CacheGeometry, SetAssociativeCache, WayManagedCache
 from repro.mem.memory import DramConfig, MainMemory
@@ -39,6 +61,10 @@ from repro.mem.partition import (
 from repro.mem.trace import AccessBatch
 
 __all__ = ["BatchResult", "HierarchyConfig", "MemorySystem"]
+
+#: Below this many runs the per-batch cache-state marshalling of the C
+#: walker costs more than the Python walk it saves.
+_C_WALK_THRESHOLD = 4096
 
 
 @dataclass(frozen=True)
@@ -58,6 +84,9 @@ class HierarchyConfig:
     dram: DramConfig = field(default_factory=DramConfig)
     bus: BusConfig = field(default_factory=BusConfig)
     l2_policy: str = "lru"
+    #: ``"fast"`` (vectorised walker, the default) or ``"reference"``
+    #: (per-run method calls; the differential-testing oracle).
+    engine: str = "fast"
 
     def __post_init__(self) -> None:
         if self.l1_geometry.line_size != self.l2_geometry.line_size:
@@ -68,6 +97,10 @@ class HierarchyConfig:
             raise ConfigurationError("issue_cpi must be positive")
         if self.l2_hit_cycles < 0:
             raise ConfigurationError("l2_hit_cycles must be >= 0")
+        if self.engine not in ("reference", "fast"):
+            raise ConfigurationError(
+                f"engine must be 'reference' or 'fast', got {self.engine!r}"
+            )
 
 
 @dataclass
@@ -100,6 +133,10 @@ class BatchResult:
 class MemorySystem:
     """L1s + shared L2 + bus + DRAM for an ``n_cpus`` tile."""
 
+    #: Minimum batch size (in runs) for the compiled walker; overridable
+    #: per instance (tests pin it to force or forbid the C path).
+    c_walk_threshold = _C_WALK_THRESHOLD
+
     def __init__(
         self,
         n_cpus: int,
@@ -130,6 +167,11 @@ class MemorySystem:
         self.way_map = WayPartitionMap(config.l2_geometry.ways)
         self.memory = MainMemory(config.dram)
         self.bus = SharedBus(config.bus, n_cpus=n_cpus)
+        # The fast walker inlines LRU/FIFO victim selection; a random-
+        # replacement L2 keeps the reference walk (the L1s are always LRU).
+        self._fast = config.engine == "fast" and (
+            self.l2 is None or self.l2.policy in ("lru", "fifo")
+        )
 
     # -- configuration -----------------------------------------------------
 
@@ -147,6 +189,24 @@ class MemorySystem:
         self.memory.reset_traffic()
         self.bus.reset()
 
+    def repartition(self, now: float = 0.0) -> int:
+        """Flush and invalidate every cache level; returns the writebacks.
+
+        The OS must call this before reprogramming the partition maps:
+        index translation moves lines between sets, so stale residents
+        would alias, and silently dropping dirty lines would lose DRAM
+        traffic.  Every dirty victim is written back to DRAM (traffic
+        only -- reprogramming is not on the CPUs' critical path).
+        """
+        flushed = 0
+        caches = list(self.l1s)
+        caches.append(self.l2 if self.l2 is not None else self.l2_way)
+        for cache in caches:
+            for line, _owner in cache.invalidate_all():
+                self.memory.access(line, True, now)
+                flushed += 1
+        return flushed
+
     # -- execution -----------------------------------------------------------
 
     def execute_batch(
@@ -155,10 +215,19 @@ class MemorySystem:
         """Run ``batch`` on ``cpu_id`` on behalf of ``task_owner``.
 
         Returns the :class:`BatchResult` with the cycle cost; caches,
-        bus and DRAM state advance as side effects.
+        bus and DRAM state advance as side effects.  Dispatches to the
+        engine selected by :attr:`HierarchyConfig.engine`.
         """
         if not 0 <= cpu_id < self.n_cpus:
             raise MemoryModelError(f"cpu {cpu_id} out of range")
+        if self._fast:
+            return self._execute_batch_fast(cpu_id, task_owner, batch, now)
+        return self._execute_batch_reference(cpu_id, task_owner, batch, now)
+
+    def _execute_batch_reference(
+        self, cpu_id: int, task_owner: int, batch: AccessBatch, now: float
+    ) -> BatchResult:
+        """The oracle walk: one cache-model method call per run."""
         config = self.config
         l1 = self.l1s[cpu_id]
         line_shift = config.l1_geometry.line_shift
@@ -255,6 +324,514 @@ class MemorySystem:
         )
         return result
 
+    def _execute_batch_fast(
+        self, cpu_id: int, task_owner: int, batch: AccessBatch, now: float
+    ) -> BatchResult:
+        """Vectorised walk producing bit-identical statistics.
+
+        Per-run work that does not depend on cache state -- owner
+        resolution, L1/L2 set indices -- is precomputed with numpy and
+        materialised as plain Python lists (scalar indexing into numpy
+        arrays is an order of magnitude slower than list indexing).  The
+        walk itself touches the caches' internal dicts/lists directly
+        through local bindings, records outcomes as run indices and
+        event tuples, and flushes all per-owner statistics in one
+        ``bincount`` pass at the end.  State mutations (cache contents,
+        DRAM bank timing) happen in exactly the reference order, so
+        every counter and every timing quantity matches the oracle.
+        """
+        config = self.config
+        result = BatchResult(
+            instructions=batch.instructions, accesses=batch.n_accesses
+        )
+        line_shift = config.l1_geometry.line_shift
+        line_arr, count_arr, wany_arr, wall_arr = batch.runs(line_shift)
+        n_runs = int(line_arr.shape[0])
+        if n_runs == 0:
+            result.cycles = int(round(batch.instructions * config.issue_cpi))
+            return result
+
+        owners_arr = self.resolver.resolve_many(
+            line_arr << line_shift, task_owner
+        )
+        if int(owners_arr.min()) < 0:
+            # Negative owner ids would break the bincount flush; the
+            # registry never produces them, so take the oracle path.
+            return self._execute_batch_reference(
+                cpu_id, task_owner, batch, now
+            )
+
+        l1 = self.l1s[cpu_id]
+        l1_mask = config.l1_geometry.index_mask
+        l2_mask = config.l2_geometry.index_mask
+        full_line_count = config.l1_geometry.line_size // 4
+        l2_hit_cycles = config.l2_hit_cycles
+        mode = self.mode
+        way_partitioned = mode is PartitionMode.WAY_PARTITIONED
+        set_partitioned = mode is PartitionMode.SET_PARTITIONED
+        map_index = self.set_map.map_index
+
+        if set_partitioned:
+            l2_idx_arr = self.set_map.map_index_many(owners_arr, line_arr)
+        elif way_partitioned:
+            l2_idx_arr = None
+        else:
+            l2_idx_arr = line_arr & l2_mask
+
+        if not way_partitioned and n_runs >= self.c_walk_threshold:
+            walker = cwalker.load()
+            if walker is not None:
+                return self._execute_batch_fast_c(
+                    walker, cpu_id, result, now,
+                    line_arr, count_arr, wany_arr, wall_arr,
+                    owners_arr, l2_idx_arr,
+                )
+
+        l2_idx_list = (
+            l2_idx_arr.tolist() if not way_partitioned else None
+        )
+        l1_idx_list = (line_arr & l1_mask).tolist()
+        lines_list = line_arr.tolist()
+        counts_list = count_arr.tolist()
+        wany_list = wany_arr.tolist()
+        wall_list = wall_arr.tolist()
+        owners_list = owners_arr.tolist()
+
+        # L1 internals as locals (the L1s are always LRU).
+        l1_sets = l1._sets
+        l1_where = l1._where
+        l1_where_get = l1_where.get
+        l1_owner_of = l1._owner_of
+        l1_dirty = l1._dirty
+        l1_dirty_add = l1_dirty.add
+        l1_seen = l1._seen
+        l1_seen_add = l1_seen.add
+        l1_ways = l1.geometry.ways
+
+        if way_partitioned:
+            l2_way = self.l2_way
+            l2_way_probe = l2_way.probe_writeback
+            ways_of = self.way_map.ways_of
+        else:
+            l2 = self.l2
+            l2_sets = l2._sets
+            l2_where = l2._where
+            l2_where_get = l2_where.get
+            l2_owner_of = l2._owner_of
+            l2_dirty = l2._dirty
+            l2_dirty_add = l2_dirty.add
+            l2_seen = l2._seen
+            l2_seen_add = l2_seen.add
+            l2_ways = l2.geometry.ways
+            l2_lru = l2.policy == "lru"
+
+        # DRAM bank model inlined (same dict, same update order).
+        dram = self.memory.config
+        bank_mask = dram.n_banks - 1
+        bank_busy = dram.bank_busy_cycles
+        bank_free = self.memory._bank_free_at
+        bank_free_get = bank_free.get
+        dram_writes = 0
+        write_conflicts = 0
+        read_conflicts = 0
+        way_dram_lines = 0
+        way_stall = 0
+
+        # Outcome recorders: owner-id lists the flush reduces with
+        # bincount.  Everything else is derived from their lengths.
+        l1_miss_owners: List[int] = []
+        l1_miss_append = l1_miss_owners.append
+        l1_cold_owners: List[int] = []
+        l1_evictor_owners: List[int] = []
+        l1_victim_owners: List[int] = []
+        l1_wb_owners: List[int] = []
+        l2_miss_owners: List[int] = []
+        l2_cold_owners: List[int] = []
+        l2_evictor_owners: List[int] = []
+        l2_victim_owners: List[int] = []
+        l2_wb_owners: List[int] = []
+        store_fills = 0
+
+        # The recorder lists retain millions of objects on big batches;
+        # with the generational GC enabled, every full collection walks
+        # them again and dominates the runtime.  Nothing in the walk can
+        # create reference cycles, so pause collection for its duration.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            for i, line in enumerate(lines_list):
+                si = l1_idx_list[i]
+                # -- L1 probe: one dict lookup --------------------------
+                if l1_where_get(line) == si:
+                    slist = l1_sets[si]
+                    if slist[0] != line:
+                        slist.remove(line)
+                        slist.insert(0, line)
+                    if wany_list[i]:
+                        l1_dirty_add(line)
+                    continue
+
+                # -- L1 miss --------------------------------------------
+                write = wany_list[i]
+                owner = owners_list[i]
+                l1_miss_append(owner)
+                if line not in l1_seen:
+                    l1_cold_owners.append(owner)
+                    l1_seen_add(line)
+                slist = l1_sets[si]
+                wb_line = None
+                if len(slist) >= l1_ways:
+                    victim = slist.pop()
+                    del l1_where[victim]
+                    victim_owner = l1_owner_of.pop(victim)
+                    if victim in l1_dirty:
+                        l1_dirty.remove(victim)
+                        l1_wb_owners.append(victim_owner)
+                        wb_line = victim
+                        wb_owner = victim_owner
+                    l1_evictor_owners.append(owner)
+                    l1_victim_owners.append(victim_owner)
+                slist.insert(0, line)
+                l1_where[line] = si
+                l1_owner_of[line] = owner
+                if write:
+                    l1_dirty_add(line)
+
+                # -- dirty L1 victim written back through the L2 --------
+                if wb_line is not None:
+                    if way_partitioned:
+                        wb_hit = l2_way_probe(
+                            wb_line, wb_line & l2_mask, wb_owner
+                        )
+                    else:
+                        if set_partitioned:
+                            wb_index = map_index(wb_owner, wb_line)
+                        else:
+                            wb_index = wb_line & l2_mask
+                        if l2_where_get(wb_line) == wb_index:
+                            l2_dirty_add(wb_line)
+                            wb_hit = True
+                        else:
+                            wb_hit = False
+                    if not wb_hit:
+                        bank = wb_line & bank_mask
+                        free_at = bank_free_get(bank, 0.0)
+                        if now < free_at:
+                            write_conflicts += 1
+                        bank_free[bank] = (
+                            free_at if free_at > now else now
+                        ) + bank_busy
+                        dram_writes += 1
+
+                store_fill = (
+                    wall_list[i] and counts_list[i] >= full_line_count
+                )
+                if store_fill:
+                    store_fills += 1
+
+                # -- way-partitioned L2: reference method path ----------
+                if way_partitioned:
+                    if store_fill:
+                        self._l2_store_fill(
+                            line, owner, l2_mask, False, True,
+                            map_index, ways_of, now, result,
+                        )
+                        continue
+                    l2_hit = self._l2_access(
+                        line, owner, write, l2_mask, False, True,
+                        map_index, ways_of, now, result,
+                    )
+                    way_stall += l2_hit_cycles
+                    if not l2_hit:
+                        way_stall += self.memory.access(line, False, now)
+                        way_dram_lines += 1
+                    continue
+
+                # -- set-associative L2, inlined ------------------------
+                l2i = l2_idx_list[i]
+                if l2_where_get(line) == l2i:
+                    slist2 = l2_sets[l2i]
+                    if l2_lru and slist2[0] != line:
+                        slist2.remove(line)
+                        slist2.insert(0, line)
+                    if write:
+                        l2_dirty_add(line)
+                    continue
+
+                # L2 miss (store fills allocate, but are not demand
+                # misses and fetch nothing).
+                if line not in l2_seen:
+                    if not store_fill:
+                        l2_cold_owners.append(owner)
+                    l2_seen_add(line)
+                if not store_fill:
+                    l2_miss_owners.append(owner)
+                slist2 = l2_sets[l2i]
+                if len(slist2) >= l2_ways:
+                    victim = slist2.pop()
+                    del l2_where[victim]
+                    victim_owner = l2_owner_of.pop(victim)
+                    l2_evictor_owners.append(owner)
+                    l2_victim_owners.append(victim_owner)
+                    if victim in l2_dirty:
+                        l2_dirty.remove(victim)
+                        l2_wb_owners.append(victim_owner)
+                        bank = victim & bank_mask
+                        free_at = bank_free_get(bank, 0.0)
+                        if now < free_at:
+                            write_conflicts += 1
+                        bank_free[bank] = (
+                            free_at if free_at > now else now
+                        ) + bank_busy
+                        dram_writes += 1
+                slist2.insert(0, line)
+                l2_where[line] = l2i
+                l2_owner_of[line] = owner
+                if write:
+                    l2_dirty_add(line)
+                if store_fill:
+                    continue
+                # Demand miss: the DRAM fetch (bank state now, latency
+                # derived in the flush below).
+                bank = line & bank_mask
+                free_at = bank_free_get(bank, 0.0)
+                if now < free_at:
+                    read_conflicts += 1
+                bank_free[bank] = (
+                    free_at if free_at > now else now
+                ) + bank_busy
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+
+        # -- batched statistics and counter flush ----------------------
+        #
+        # Everything below is a pure function of the recorders: stall
+        # cycles are ``l2_hit_cycles`` per demand probe plus the DRAM
+        # base latency per read plus the bank penalty per read conflict
+        # -- term for term what the reference walk accumulates.
+        l1_misses = len(l1_miss_owners)
+        _flush_weighted_stats(
+            l1.stats, owners_arr, count_arr,
+            l1_miss_owners, l1_cold_owners,
+            l1_evictor_owners, l1_victim_owners, l1_wb_owners,
+        )
+        traffic = self.memory.traffic
+        if way_partitioned:
+            stall = way_stall
+            dram_lines = way_dram_lines + dram_writes
+        else:
+            _flush_probe_stats(
+                self.l2.stats,
+                l1_miss_owners, l2_miss_owners, l2_cold_owners,
+                l2_evictor_owners, l2_victim_owners, l2_wb_owners,
+            )
+            dram_reads = len(l2_miss_owners)
+            result.l2_accesses = l1_misses
+            result.l2_misses = dram_reads
+            stall = (
+                (l1_misses - store_fills) * l2_hit_cycles
+                + dram_reads * dram.access_cycles
+                + read_conflicts * dram.bank_penalty_cycles
+            )
+            dram_lines = dram_reads + dram_writes
+            traffic.line_reads += dram_reads
+        traffic.line_writes += dram_writes
+        traffic.bank_conflicts += read_conflicts + write_conflicts
+
+        result.l1_misses = l1_misses
+        result.store_fills = store_fills
+        result.dram_lines += dram_lines
+        transfers = l1_misses + len(l1_wb_owners)
+        bus_cycles = self.bus.price_transfers(cpu_id, transfers, now)
+        result.bus_cycles = bus_cycles
+        result.cycles = int(
+            round(batch.instructions * config.issue_cpi) + stall + bus_cycles
+        )
+        return result
+
+    def _execute_batch_fast_c(
+        self, walker, cpu_id, result, now,
+        line_arr, count_arr, wany_arr, wall_arr, owners_arr, l2_idx_arr,
+    ) -> BatchResult:
+        """Large-batch walk through the compiled kernel (see cwalker).
+
+        Cache and DRAM-bank state is flattened to arrays, the C routine
+        replays the reference sequence over them, and the per-run flag
+        and victim-owner outputs are reduced to statistics with numpy.
+        Cold misses never need kernel support: a line's first-ever
+        access always misses, so the cold runs are exactly the
+        batch-first occurrences of lines absent from the seen-sets.
+        """
+        import ctypes
+
+        config = self.config
+        l1 = self.l1s[cpu_id]
+        l2 = self.l2
+        n_runs = int(line_arr.shape[0])
+        l1_mask = config.l1_geometry.index_mask
+        l2_mask = config.l2_geometry.index_mask
+        full_line_count = config.l1_geometry.line_size // 4
+        set_partitioned = self.mode is PartitionMode.SET_PARTITIONED
+
+        l1_idx_arr = line_arr & l1_mask
+        sf_arr = (wall_arr & (count_arr >= full_line_count)).astype(np.uint8)
+        wany_u8 = wany_arr.astype(np.uint8)
+
+        l1_lines, l1_owners, l1_dirty, l1_lens = l1.export_state()
+        l2_lines, l2_owners, l2_dirty, l2_lens = l2.export_state()
+
+        # Dirty L1 victims re-index through the per-owner translation;
+        # ship the map as a dense table (row n_table = default mapping).
+        if set_partitioned:
+            use_table = 1
+            max_owner = int(owners_arr.max())
+            if int(l1_lens.sum()):
+                max_owner = max(max_owner, int(l1_owners.max()))
+            n_table = max_owner + 1
+            pool = self.set_map.default_pool
+            if pool is not None:
+                default_row = (pool.base, pool.n_sets, pool.is_power_of_two)
+            else:
+                default_row = (0, config.l2_geometry.sets, True)
+            tbl_base = np.empty(n_table + 1, dtype=np.int64)
+            tbl_size = np.empty(n_table + 1, dtype=np.int64)
+            tbl_pow2 = np.empty(n_table + 1, dtype=np.uint8)
+            for owner in range(n_table):
+                partition = self.set_map.effective_partition(owner)
+                row = (
+                    (partition.base, partition.n_sets,
+                     partition.is_power_of_two)
+                    if partition is not None else default_row
+                )
+                tbl_base[owner], tbl_size[owner], tbl_pow2[owner] = row
+            tbl_base[n_table], tbl_size[n_table], tbl_pow2[n_table] = (
+                default_row
+            )
+        else:
+            use_table = 0
+            n_table = 0
+            tbl_base = np.zeros(1, dtype=np.int64)
+            tbl_size = np.ones(1, dtype=np.int64)
+            tbl_pow2 = np.ones(1, dtype=np.uint8)
+
+        dram = self.memory.config
+        n_banks = dram.n_banks
+        bank_free = self.memory._bank_free_at
+        bank_arr = np.array(
+            [bank_free.get(b, 0.0) for b in range(n_banks)], dtype=np.float64
+        )
+
+        flags = np.zeros(n_runs, dtype=np.uint8)
+        l1_vo = np.zeros(n_runs, dtype=np.int64)
+        l2_vo = np.zeros(n_runs, dtype=np.int64)
+        counters = np.zeros(3, dtype=np.int64)
+
+        p_i64 = ctypes.POINTER(ctypes.c_int64)
+        p_i32 = ctypes.POINTER(ctypes.c_int32)
+        p_u8 = ctypes.POINTER(ctypes.c_uint8)
+        p_f64 = ctypes.POINTER(ctypes.c_double)
+
+        def i64p(arr):
+            return arr.ctypes.data_as(p_i64)
+
+        walker.walk_batch(
+            n_runs,
+            i64p(line_arr), i64p(l1_idx_arr), i64p(l2_idx_arr),
+            wany_u8.ctypes.data_as(p_u8), sf_arr.ctypes.data_as(p_u8),
+            l1.geometry.ways,
+            i64p(l1_lines), i64p(l1_owners),
+            l1_dirty.ctypes.data_as(p_u8), l1_lens.ctypes.data_as(p_i32),
+            l2.geometry.ways, 1 if l2.policy == "lru" else 0,
+            i64p(l2_lines), i64p(l2_owners),
+            l2_dirty.ctypes.data_as(p_u8), l2_lens.ctypes.data_as(p_i32),
+            i64p(owners_arr),
+            use_table, n_table,
+            i64p(tbl_base), i64p(tbl_size), tbl_pow2.ctypes.data_as(p_u8),
+            l2_mask,
+            float(now), n_banks - 1, dram.bank_busy_cycles,
+            bank_arr.ctypes.data_as(p_f64),
+            flags.ctypes.data_as(p_u8), i64p(l1_vo), i64p(l2_vo),
+            i64p(counters),
+        )
+
+        l1.import_state(l1_lines, l1_owners, l1_dirty, l1_lens)
+        l2.import_state(l2_lines, l2_owners, l2_dirty, l2_lens)
+        bank_values = bank_arr.tolist()
+        for bank in range(n_banks):
+            bank_free[bank] = bank_values[bank]
+
+        l1_miss_mask = (flags & cwalker.FLAG_L1_MISS) != 0
+        demand_miss_mask = (flags & cwalker.FLAG_L2_DEMAND_MISS) != 0
+        l1_evict_mask = (flags & cwalker.FLAG_L1_EVICT) != 0
+        l2_evict_mask = (flags & cwalker.FLAG_L2_EVICT) != 0
+        l1_wb_mask = (flags & cwalker.FLAG_L1_WB) != 0
+        l2_wb_mask = (flags & cwalker.FLAG_L2_WB) != 0
+
+        # Cold-miss classification.  Per level, a run is cold exactly
+        # when it is the batch's *first miss* of its line at that level
+        # and the line is not in the level's seen-set -- only misses
+        # mark a line seen, so this reproduces the reference
+        # bookkeeping even across forget_history() epochs (where lines
+        # can be resident yet unseen).  At the L2, the first missing
+        # probe marks the line seen but counts as cold only when it is
+        # a demand access, mirroring the store-fill cancellation.
+        l2_probe_miss_mask = (flags & cwalker.FLAG_L2_PROBE_MISS) != 0
+        cold1_runs, miss_lines1 = _first_misses(
+            walker, line_arr, l1_miss_mask, l1._seen
+        )
+        cold2_candidates, miss_lines2 = _first_misses(
+            walker, line_arr, l2_probe_miss_mask, l2._seen
+        )
+        cold2_runs = cold2_candidates[sf_arr[cold2_candidates] == 0]
+        l1._seen.update(miss_lines1)
+        l2._seen.update(miss_lines2)
+
+        _flush_weighted_stats(
+            l1.stats, owners_arr, count_arr,
+            owners_arr[l1_miss_mask], owners_arr[cold1_runs],
+            owners_arr[l1_evict_mask], l1_vo[l1_evict_mask],
+            l1_vo[l1_wb_mask],
+        )
+        _flush_probe_stats(
+            l2.stats,
+            owners_arr[l1_miss_mask], owners_arr[demand_miss_mask],
+            owners_arr[cold2_runs],
+            owners_arr[l2_evict_mask], l2_vo[l2_evict_mask],
+            l2_vo[l2_wb_mask],
+        )
+
+        l1_misses = int(np.count_nonzero(l1_miss_mask))
+        store_fills = int(np.count_nonzero(sf_arr[l1_miss_mask]))
+        dram_reads = int(np.count_nonzero(demand_miss_mask))
+        dram_writes = int(counters[0])
+        read_conflicts = int(counters[1])
+        write_conflicts = int(counters[2])
+        traffic = self.memory.traffic
+        traffic.line_reads += dram_reads
+        traffic.line_writes += dram_writes
+        traffic.bank_conflicts += read_conflicts + write_conflicts
+
+        result.l1_misses = l1_misses
+        result.l2_accesses = l1_misses
+        result.l2_misses = dram_reads
+        result.store_fills = store_fills
+        result.dram_lines = dram_reads + dram_writes
+        stall = (
+            (l1_misses - store_fills) * config.l2_hit_cycles
+            + dram_reads * dram.access_cycles
+            + read_conflicts * dram.bank_penalty_cycles
+        )
+        transfers = l1_misses + int(np.count_nonzero(l1_wb_mask))
+        bus_cycles = self.bus.price_transfers(cpu_id, transfers, now)
+        result.bus_cycles = bus_cycles
+        result.cycles = int(
+            round(result.instructions * config.issue_cpi)
+            + stall + bus_cycles
+        )
+        return result
+
     def _l2_store_fill(
         self,
         line: int,
@@ -324,3 +901,134 @@ class MemorySystem:
             self.memory.access(evicted[0], True, now)
             result.dram_lines += 1
         return hit
+
+
+# -- fast-engine statistics flush -----------------------------------------
+#
+# The fast walker records outcomes as flat owner-id lists; these helpers
+# reduce them to per-owner deltas in one vectorised pass.  The resulting
+# OwnerStats values are identical to what the per-run reference
+# accounting produces, because hit/miss/access counts are order-free sums.
+
+
+def _bincount(owner_list, minlength=0) -> np.ndarray:
+    """Per-owner occurrence counts of a flat owner-id list."""
+    return np.bincount(
+        np.asarray(owner_list, dtype=np.int64), minlength=minlength
+    )
+
+
+def _first_misses(walker, line_arr, miss_mask, seen):
+    """Batch-first misses of not-yet-seen lines (C-path cold misses).
+
+    Returns ``(cold_runs, missed_lines)``: the run indices whose miss
+    is the line's first at this level *and* whose line is absent from
+    ``seen`` (the reference marks a line seen at every miss, never at a
+    hit), plus the distinct missed lines to add to the seen-set.
+    """
+    miss_runs = np.flatnonzero(miss_mask)
+    n_misses = int(miss_runs.shape[0])
+    if n_misses == 0:
+        return miss_runs, []
+    missed = line_arr[miss_runs]
+    first_mask = np.zeros(n_misses, dtype=np.uint8)
+    if walker.first_occurrence(
+        missed.ctypes.data_as(ctypes.POINTER(ctypes.c_int64)), n_misses,
+        first_mask.ctypes.data_as(ctypes.POINTER(ctypes.c_uint8)),
+    ):
+        _, first_sub = np.unique(missed, return_index=True)
+    else:
+        first_sub = np.flatnonzero(first_mask)
+    first_runs = miss_runs[first_sub]
+    missed_lines = line_arr[first_runs].tolist()
+    pre_seen = np.fromiter(
+        (line in seen for line in missed_lines),
+        dtype=bool, count=len(missed_lines),
+    )
+    return first_runs[~pre_seen], missed_lines
+
+
+def _flush_events(stats, evictor_owners, victim_owners, wb_owners) -> None:
+    """Apply eviction-attribution and writeback events to ``stats``.
+
+    Events arrive as parallel evictor/victim owner lists; the
+    ``(evictor, victim)`` matrix is aggregated by packing each pair into
+    one integer key and running ``np.unique`` -- no per-event Python
+    work.
+    """
+    if len(victim_owners):
+        victims = np.asarray(victim_owners, dtype=np.int64)
+        suffered = np.bincount(victims)
+        for o in np.flatnonzero(suffered):
+            stats.owner(int(o)).evictions_suffered += int(suffered[o])
+        evictors = np.asarray(evictor_owners, dtype=np.int64)
+        key_mod = int(victims.max()) + 1
+        packed = evictors * key_mod + victims
+        matrix = stats.eviction_matrix
+        if int(evictors.max()) * key_mod < (1 << 22):
+            # Dense owner ids (the normal case): bincount beats the
+            # sort inside np.unique by an order of magnitude.
+            counts = np.bincount(packed)
+            for key in np.flatnonzero(counts):
+                pair = (int(key) // key_mod, int(key) % key_mod)
+                matrix[pair] = matrix.get(pair, 0) + int(counts[key])
+        else:
+            keys, counts = np.unique(packed, return_counts=True)
+            for key, n in zip(keys.tolist(), counts.tolist()):
+                pair = (key // key_mod, key % key_mod)
+                matrix[pair] = matrix.get(pair, 0) + n
+    if len(wb_owners):
+        flushed = _bincount(wb_owners)
+        for o in np.flatnonzero(flushed):
+            stats.owner(int(o)).writebacks += int(flushed[o])
+
+
+def _apply_owner_counts(stats, acc, miss_owners, cold_owners) -> None:
+    """Fold per-owner access/miss/cold counts into ``stats``.
+
+    ``hits`` is derived as ``accesses - misses`` -- exactly the
+    reference model's ``hits += n`` / ``hits += n - 1`` bookkeeping,
+    summed (only a run's first access can miss).
+    """
+    n_owners = len(acc)
+    miss = _bincount(miss_owners, n_owners)
+    cold = _bincount(cold_owners, n_owners)
+    for o in np.flatnonzero(acc):
+        owner_stats = stats.owner(int(o))
+        a = int(acc[o])
+        m = int(miss[o])
+        owner_stats.accesses += a
+        owner_stats.hits += a - m
+        owner_stats.misses += m
+        c = int(cold[o])
+        if c:
+            owner_stats.cold_misses += c
+
+
+def _flush_weighted_stats(
+    stats, owners_arr, count_arr, miss_owners, cold_owners,
+    evictor_owners, victim_owners, wb_owners,
+) -> None:
+    """L1-style accounting: every run accesses with its full run length."""
+    n_owners = int(owners_arr.max()) + 1
+    acc = np.bincount(owners_arr, weights=count_arr, minlength=n_owners)
+    _apply_owner_counts(stats, acc, miss_owners, cold_owners)
+    _flush_events(stats, evictor_owners, victim_owners, wb_owners)
+
+
+def _flush_probe_stats(
+    stats, probe_owners, miss_owners, cold_owners,
+    evictor_owners, victim_owners, wb_owners,
+) -> None:
+    """L2-style accounting: one single-access probe per L1-missing run.
+
+    Store fills are probes that never count as demand misses (the
+    reference path books then cancels the miss; the net effect is an
+    access plus a hit, which is what omitting them from ``miss_owners``
+    produces here).
+    """
+    if len(probe_owners):
+        probes = np.asarray(probe_owners, dtype=np.int64)
+        acc = np.bincount(probes, minlength=int(probes.max()) + 1)
+        _apply_owner_counts(stats, acc, miss_owners, cold_owners)
+    _flush_events(stats, evictor_owners, victim_owners, wb_owners)

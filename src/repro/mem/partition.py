@@ -27,6 +27,8 @@ import enum
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
+import numpy as np
+
 from repro.errors import PartitionError
 from repro.mem.intervals import IntervalTable
 
@@ -111,6 +113,19 @@ class OwnerResolver:
         buffer_owner = self.intervals.lookup(addr)
         return buffer_owner if buffer_owner is not None else task_owner
 
+    def resolve_many(self, addrs: np.ndarray, task_owner: int) -> np.ndarray:
+        """Vectorised :meth:`resolve` over an address array.
+
+        One interval-table lookup for the whole batch; addresses outside
+        every interval fall back to ``task_owner``.
+        """
+        if not len(self.intervals):
+            return np.full(np.shape(addrs), task_owner, dtype=np.int64)
+        buffer_owners = self.intervals.lookup_many(addrs)
+        return np.where(
+            buffer_owners >= 0, buffer_owners, np.int64(task_owner)
+        )
+
 
 @dataclass(frozen=True)
 class SetPartition:
@@ -151,6 +166,12 @@ class SetPartition:
         if self.is_power_of_two:
             return self.base + (line_addr & (self.n_sets - 1))
         return self.base + (line_addr % self.n_sets)
+
+    def translate_many(self, line_addrs: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`translate` over a line-address array."""
+        if self.is_power_of_two:
+            return self.base + (line_addrs & (self.n_sets - 1))
+        return self.base + (line_addrs % self.n_sets)
 
 
 class SetPartitionMap:
@@ -231,6 +252,19 @@ class SetPartitionMap:
         """The partition of ``owner`` or ``None``."""
         return self._partitions.get(owner)
 
+    def effective_partition(self, owner: int) -> Optional[SetPartition]:
+        """The partition ``owner`` actually maps through, aliases resolved.
+
+        ``None`` means the owner uses the default mapping (the default
+        pool when configured, else conventional indexing).
+        """
+        partition = self._partitions.get(owner)
+        if partition is None:
+            target = self._aliases.get(owner)
+            if target is not None:
+                return self._partitions[target]
+        return partition
+
     def set_default_pool(self, base: int, n_sets: int) -> SetPartition:
         """Confine unpartitioned owners to a shared pool of sets."""
         pool = SetPartition(owner=OWNER_SHARED, base=base, n_sets=n_sets)
@@ -264,6 +298,33 @@ class SetPartitionMap:
                 return self._default_pool.translate(line_addr)
             return line_addr & (self.total_sets - 1)
         return partition.translate(line_addr)
+
+    def map_index_many(
+        self, owners: np.ndarray, line_addrs: np.ndarray
+    ) -> np.ndarray:
+        """Vectorised :meth:`map_index` over parallel owner/line arrays.
+
+        Applies the default mapping (pool or conventional indexing) to
+        everything, then overwrites the positions of each partitioned or
+        aliased owner with its translation.  One pass per *distinct*
+        owner in the batch, which is tiny next to the batch length.
+        """
+        owners = np.asarray(owners)
+        line_addrs = np.asarray(line_addrs)
+        if self._default_pool is not None:
+            result = np.asarray(
+                self._default_pool.translate_many(line_addrs), dtype=np.int64
+            )
+        else:
+            result = (line_addrs & (self.total_sets - 1)).astype(np.int64)
+        if self._partitions or self._aliases:
+            for owner in np.unique(owners):
+                partition = self.effective_partition(int(owner))
+                if partition is None:
+                    continue
+                mask = owners == owner
+                result[mask] = partition.translate_many(line_addrs[mask])
+        return result
 
     def allocated_sets(self) -> int:
         """Total sets claimed by all partitions."""

@@ -88,7 +88,9 @@ class AccessBatch:
         addr_arr = np.asarray(addrs, dtype=_ADDR_DTYPE)
         if writes is None:
             write_arr = np.zeros(addr_arr.shape, dtype=bool)
-        elif np.isscalar(writes):
+        elif np.ndim(writes) == 0:
+            # Python scalars and 0-d numpy arrays alike broadcast to the
+            # whole batch (np.isscalar would reject the latter).
             write_arr = np.full(addr_arr.shape, bool(writes), dtype=bool)
         else:
             write_arr = np.asarray(writes, dtype=bool)
@@ -172,6 +174,12 @@ def interleave_batches(batches: List[AccessBatch], chunk: int) -> AccessBatch:
     Used by tests to emulate fine-grained interleaving of independent
     streams (the worst case for a shared cache).
     """
+    if chunk <= 0:
+        # A non-positive chunk would make no round-robin progress and
+        # loop forever.
+        raise MemoryModelError(
+            f"interleave chunk must be positive, got {chunk}"
+        )
     parts: List[AccessBatch] = []
     offsets = [0] * len(batches)
     remaining = sum(b.n_accesses for b in batches)

@@ -98,12 +98,21 @@ class CacheController:
 
     # -- set partitioning -----------------------------------------------------
 
-    def program_set_partitions(self, units_by_owner: Dict[str, int]) -> None:
+    def program_set_partitions(
+        self, units_by_owner: Dict[str, int], flush: bool = False
+    ) -> None:
         """Program the L2 translation table from a unit allocation.
 
         ``units_by_owner`` maps owner *names* to unit counts.  Units are
         packed contiguously in iteration order; the total must fit.
         Owners not mentioned keep conventional (shared) indexing.
+
+        With ``flush=True`` the caches are flushed and invalidated
+        first (:meth:`~repro.mem.hierarchy.MemorySystem.repartition`):
+        required when reprogramming a *live* system, because index
+        translation moves lines between sets and dirty residents would
+        otherwise be lost.  Platforms that program partitions once,
+        before any traffic, can skip it (the caches are still empty).
         """
         total = sum(units_by_owner.values())
         if total > self.total_units:
@@ -115,6 +124,8 @@ class CacheController:
                 raise PartitionError(
                     f"owner {owner_name!r} allocated {units} units"
                 )
+        if flush:
+            self.mem.repartition()
         self.mem.set_map.clear()
         self.mem.set_map.clear_default_pool()
         base_unit = 0

@@ -118,11 +118,28 @@ def test_invalidate_owner_and_all():
     cache = make_cache()
     cache.access(1, 0, False, owner=1)
     cache.access(2, 1, True, owner=2)
-    assert cache.invalidate_owner(1) == 1
+    # Owner 1 has no dirty lines: nothing to flush, line still dropped.
+    assert cache.invalidate_owner(1) == []
     assert not cache.contains(1)
     assert cache.contains(2)
-    assert cache.invalidate_all() == 1  # line 2 was dirty
+    # Line 2 was dirty: it is returned for the caller to write back and
+    # counted as a writeback of its owner.
+    assert cache.invalidate_all() == [(2, 2)]
+    assert cache.stats.owner(2).writebacks == 1
     assert cache.resident_lines == 0
+
+
+def test_invalidate_owner_returns_dirty_lines():
+    cache = make_cache()
+    cache.access(1, 0, True, owner=1)
+    cache.access(5, 1, True, owner=1)
+    cache.access(2, 0, False, owner=1)
+    assert cache.invalidate_owner(1) == [1, 5]
+    assert cache.stats.owner(1).writebacks == 2
+    assert cache.resident_lines == 0
+    # A fresh fill works after the wipe (membership map consistent).
+    hit, cold, _ = cache.access(1, 0, False, owner=1)
+    assert not hit
 
 
 def test_forget_history_resets_cold_classifier():

@@ -1,0 +1,220 @@
+"""Differential tests: the fast hierarchy engine against the oracle.
+
+The fast engine (Python walker and, for large batches, the compiled C
+walker) must produce *bit-identical* statistics to the reference
+engine: every ``BatchResult``, every per-owner ``OwnerStats`` at both
+cache levels, the eviction-attribution matrices, DRAM traffic and bus
+accounting.  The streams below mix reads and writes, random and
+streaming access (store-fill path), shared-buffer traffic (interval
+owners) and private task footprints, across all three partition modes
+and both inlined L2 policies.
+
+Task address regions are disjoint per task: the model requires a
+stable line-to-set mapping, so a line not covered by the interval
+table must always be issued by the same owner (the seed model shares
+this contract -- violating it corrupts its bookkeeping too).
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mem import cwalker
+from repro.mem.cache import CacheGeometry
+from repro.mem.hierarchy import HierarchyConfig, MemorySystem
+from repro.mem.partition import PartitionMode
+from repro.mem.trace import AccessBatch
+
+C_AVAILABLE = cwalker.load() is not None
+
+
+def build_system(engine, mode, l2_policy="lru", c_threshold=None):
+    config = HierarchyConfig(
+        l1_geometry=CacheGeometry(sets=4, ways=2, line_size=64),
+        l2_geometry=CacheGeometry(sets=32, ways=4, line_size=64),
+        engine=engine,
+        l2_policy=l2_policy,
+    )
+    mem = MemorySystem(2, config, mode=mode)
+    if c_threshold is not None:
+        mem.c_walk_threshold = c_threshold
+    mem.resolver.intervals.add(0, 4096, owner=7)
+    mem.resolver.intervals.add(1 << 20, (1 << 20) + 8192, owner=8)
+    if mode is PartitionMode.SET_PARTITIONED:
+        mem.set_map.assign(1, base=0, n_sets=8)
+        mem.set_map.assign(7, base=8, n_sets=3)  # non-power-of-two group
+        mem.set_map.set_default_pool(base=16, n_sets=16)
+        mem.set_map.alias(8, 7)
+    if mode is PartitionMode.WAY_PARTITIONED:
+        mem.way_map.assign(1, (0, 1))
+        mem.way_map.assign(7, (2,))
+    return mem
+
+
+def generate_batch(rng, step, task):
+    n = int(rng.integers(100, 600))
+    private_base = 0 if task == 1 else 1 << 21
+    if step % 3 == 2:
+        # Streaming full-line stores: exercises write-validate fills.
+        start = private_base + (int(rng.integers(0, 1 << 16)) & ~63)
+        addrs = start + 4 * np.arange(n)
+        writes = np.ones(n, dtype=bool)
+    elif step % 3 == 1:
+        # Hammer the shared buffers (interval-table owners).
+        if step % 2:
+            addrs = (1 << 20) + (rng.integers(0, 8192, n) & ~3)
+        else:
+            addrs = rng.integers(0, 4096, n) & ~3
+        writes = rng.random(n) < 0.5
+    else:
+        # Random traffic over the task's private region.
+        addrs = private_base + (rng.integers(0, 1 << 18, n) & ~3)
+        writes = rng.random(n) < 0.4
+    return AccessBatch.from_addresses(addrs, writes=writes)
+
+
+def assert_systems_identical(reference, fast, context):
+    for cpu in range(reference.n_cpus):
+        ref_l1, fast_l1 = reference.l1s[cpu].stats, fast.l1s[cpu].stats
+        assert ref_l1.per_owner == fast_l1.per_owner, (context, "l1", cpu)
+        assert ref_l1.eviction_matrix == fast_l1.eviction_matrix, (
+            context, "l1 matrix", cpu,
+        )
+    assert reference.l2_stats.per_owner == fast.l2_stats.per_owner, context
+    assert (reference.l2_stats.eviction_matrix
+            == fast.l2_stats.eviction_matrix), context
+    assert vars(reference.memory.traffic) == vars(fast.memory.traffic), context
+    assert reference.bus.total_transfers == fast.bus.total_transfers, context
+    assert (reference.bus.total_surcharge_cycles
+            == fast.bus.total_surcharge_cycles), context
+    if reference.l2 is not None:
+        # Same resident lines, owners and dirty bits, per set.
+        assert reference.l2._owner_of == fast.l2._owner_of, context
+        assert reference.l2._dirty == fast.l2._dirty, context
+        for set_index in range(reference.l2.geometry.sets):
+            assert (reference.l2.set_contents(set_index)
+                    == fast.l2.set_contents(set_index)), (context, set_index)
+
+
+def run_differential(mode, l2_policy, seed, c_threshold):
+    reference = build_system("reference", mode, l2_policy)
+    fast = build_system("fast", mode, l2_policy, c_threshold=c_threshold)
+    rng = np.random.default_rng(seed)
+    for step in range(12):
+        task = 1 + step % 2
+        batch = generate_batch(rng, step, task)
+        ref_result = reference.execute_batch(
+            step % 2, task, batch, now=step * 500.0
+        )
+        fast_result = fast.execute_batch(
+            step % 2, task, batch, now=step * 500.0
+        )
+        assert ref_result == fast_result, (mode, l2_policy, seed, step)
+    assert_systems_identical(reference, fast, (mode, l2_policy, seed))
+
+
+@pytest.mark.parametrize("mode", list(PartitionMode))
+@pytest.mark.parametrize("l2_policy", ["lru", "fifo"])
+@pytest.mark.parametrize("seed", [99, 7, 2024])
+def test_python_walker_matches_reference(mode, l2_policy, seed):
+    """Fast Python walker vs oracle, every mode and inlined policy."""
+    run_differential(mode, l2_policy, seed, c_threshold=1 << 62)
+
+
+@pytest.mark.skipif(not C_AVAILABLE, reason="no C compiler available")
+@pytest.mark.parametrize(
+    "mode", [PartitionMode.SHARED, PartitionMode.SET_PARTITIONED]
+)
+@pytest.mark.parametrize("l2_policy", ["lru", "fifo"])
+@pytest.mark.parametrize("seed", [99, 7, 2024])
+def test_c_walker_matches_reference(mode, l2_policy, seed):
+    """Compiled walker (forced via threshold=1) vs oracle."""
+    run_differential(mode, l2_policy, seed, c_threshold=1)
+
+
+def test_random_l2_policy_falls_back_to_reference_walk():
+    rng = np.random.default_rng(5)
+    config = HierarchyConfig(
+        l1_geometry=CacheGeometry(sets=4, ways=2, line_size=64),
+        l2_geometry=CacheGeometry(sets=16, ways=2, line_size=64),
+        l2_policy="random",
+        engine="fast",
+    )
+    fast = MemorySystem(1, config, rng=np.random.default_rng(0))
+    reference = MemorySystem(
+        1,
+        HierarchyConfig(
+            l1_geometry=config.l1_geometry,
+            l2_geometry=config.l2_geometry,
+            l2_policy="random",
+            engine="reference",
+        ),
+        rng=np.random.default_rng(0),
+    )
+    addrs = rng.integers(0, 1 << 16, 500) & ~3
+    batch = AccessBatch.from_addresses(addrs)
+    assert fast.execute_batch(0, 1, batch, 0.0) == reference.execute_batch(
+        0, 1, batch, 0.0
+    )
+    assert fast.l2_stats.per_owner == reference.l2_stats.per_owner
+
+
+def test_engine_config_validated():
+    with pytest.raises(ConfigurationError):
+        HierarchyConfig(engine="warp")
+
+
+@pytest.mark.parametrize(
+    "c_threshold",
+    [1 << 62] + ([1] if C_AVAILABLE else []),
+    ids=["python", "c"][: 1 + C_AVAILABLE],
+)
+def test_cold_misses_after_forget_history(c_threshold):
+    """Regression: across a forget_history() epoch, lines can be
+    resident yet unseen; the C walker's cold classification must count
+    the first *miss* of such lines, not their first occurrence."""
+    def run(engine, threshold):
+        mem = MemorySystem(1, HierarchyConfig(engine=engine))
+        mem.c_walk_threshold = threshold
+        mem.execute_batch(
+            0, 1, AccessBatch.from_addresses(np.arange(200) * 64), 0.0
+        )
+        mem.l1s[0].forget_history()
+        mem.l2.forget_history()
+        rng = np.random.default_rng(3)
+        batch = AccessBatch.from_addresses(rng.integers(0, 300, 5000) * 64)
+        mem.execute_batch(0, 1, batch, 100.0)
+        return (
+            mem.l1s[0].stats.per_owner,
+            mem.l2_stats.per_owner,
+            sorted(mem.l1s[0]._seen),
+            sorted(mem.l2._seen),
+        )
+
+    assert run("fast", c_threshold) == run("reference", 1 << 62)
+
+
+def test_repartition_flushes_dirty_lines_to_dram():
+    mem = build_system("fast", PartitionMode.SHARED)
+    writes = AccessBatch.from_addresses([0, 64, 1 << 21], writes=True)
+    mem.execute_batch(0, 1, writes, now=0.0)
+    before = mem.memory.traffic.line_writes
+    flushed = mem.repartition()
+    # Each of the three written lines is dirty in its L1 *and* in the L2
+    # (store misses install the line dirty at both levels).
+    assert flushed == 6
+    assert mem.memory.traffic.line_writes == before + 6
+    assert mem.l2.resident_lines == 0
+    for l1 in mem.l1s:
+        assert l1.resident_lines == 0
+    # The next access must miss again (caches really were invalidated)
+    # but is not cold (the history survives a repartition).
+    result = mem.execute_batch(0, 1, AccessBatch.from_addresses([0]), 10.0)
+    assert result.l1_misses == 1
+
+
+def test_repartition_in_way_mode():
+    mem = build_system("fast", PartitionMode.WAY_PARTITIONED)
+    writes = AccessBatch.from_addresses([0, 64], writes=True)
+    mem.execute_batch(0, 1, writes, now=0.0)
+    assert mem.repartition() == 4  # two dirty lines per level

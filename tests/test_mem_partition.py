@@ -114,3 +114,49 @@ def test_way_map_assign_and_defaults():
         wmap.assign(owner=3, ways=(4,))
     with pytest.raises(PartitionError):
         wmap.assign(owner=3, ways=())
+
+
+def test_resolve_many_matches_scalar_resolve():
+    import numpy as np
+
+    table = IntervalTable()
+    table.add(0, 128, owner=4)
+    resolver = OwnerResolver(table)
+    addrs = np.array([0, 64, 128, 4096])
+    got = resolver.resolve_many(addrs, task_owner=9)
+    assert got.tolist() == [resolver.resolve(int(a), 9) for a in addrs]
+    # Empty-table shortcut: everything falls back to the task owner.
+    empty = OwnerResolver()
+    assert (empty.resolve_many(addrs, task_owner=2) == 2).all()
+
+
+def test_map_index_many_matches_scalar_map_index():
+    import numpy as np
+
+    pmap = SetPartitionMap(total_sets=64)
+    pmap.assign(owner=1, base=0, n_sets=8)
+    pmap.assign(owner=2, base=8, n_sets=5)  # non-power-of-two
+    pmap.alias(3, 2)
+    pmap.set_default_pool(base=32, n_sets=32)
+    rng_lines = np.arange(0, 2048, 17)
+    for owner in (1, 2, 3, 4, OWNER_SHARED):
+        owners = np.full(rng_lines.shape, owner)
+        got = pmap.map_index_many(owners, rng_lines)
+        expected = [pmap.map_index(owner, int(line)) for line in rng_lines]
+        assert got.tolist() == expected
+    # Mixed-owner arrays hit every translation in one call.
+    owners = np.array([1, 2, 3, 4, 0, 1, 2])
+    lines = np.array([5, 13, 99, 1000, 77, 64, 6])
+    got = pmap.map_index_many(owners, lines)
+    assert got.tolist() == [
+        pmap.map_index(int(o), int(line)) for o, line in zip(owners, lines)
+    ]
+
+
+def test_effective_partition_resolves_aliases():
+    pmap = SetPartitionMap(total_sets=32)
+    partition = pmap.assign(owner=1, base=0, n_sets=8)
+    pmap.alias(2, 1)
+    assert pmap.effective_partition(1) == partition
+    assert pmap.effective_partition(2) == partition
+    assert pmap.effective_partition(9) is None

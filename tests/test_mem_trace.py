@@ -103,3 +103,20 @@ def test_interleave_batches_preserves_accesses():
     assert merged.n_accesses == 16
     assert merged.instructions == 12
     assert set(merged.addrs.tolist()) == set(a.addrs.tolist()) | set(b.addrs.tolist())
+
+
+def test_interleave_batches_rejects_nonpositive_chunk():
+    """Regression: chunk=0 used to spin forever instead of raising."""
+    batches = [AccessBatch.from_addresses([0, 4])]
+    with pytest.raises(MemoryModelError):
+        interleave_batches(batches, chunk=0)
+    with pytest.raises(MemoryModelError):
+        interleave_batches(batches, chunk=-3)
+
+
+def test_from_addresses_accepts_zero_dim_write_array():
+    """Regression: a 0-d numpy bool used to trip the shape check."""
+    batch = AccessBatch.from_addresses([0, 4, 8], writes=np.asarray(True))
+    assert batch.writes.all()
+    batch = AccessBatch.from_addresses([0, 4], writes=np.bool_(False))
+    assert not batch.writes.any()
