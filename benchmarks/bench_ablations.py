@@ -8,248 +8,263 @@
 - Static vs migrating scheduling under partitioning.
 - Solver comparison: exact DP vs greedy vs MILP on the measured curves.
 - Malloc-order sensitivity (§4.1) under dense bump placement.
+
+Every multi-scenario ablation is a grid over one axis of the
+experiment API (``fifo_policy``, ``allocation_unit_sets``,
+``scheduling``, ``solver``, ``partition_mode``); the process-wide memo
+tables mean axes that do not change profiling inputs (solver, way
+mode) reuse the session's miss curves, and every record lands in the
+session result store.
 """
 
+from dataclasses import replace
 from functools import partial
 
-import pytest
-from conftest import APP1_FRAMES, SIZE_MENU, write_artifact
+from conftest import APP1_SCENARIO, write_artifact
 
-from repro.apps import two_jpeg_canny_workload
 from repro.apps.synthetic import make_pipeline
 from repro.cake import CakeConfig, Platform
-from repro.core import BufferPolicy, solve_mckp_dp, solve_mckp_greedy, solve_mckp_milp
-from repro.core.allocation import buffer_units
-from repro.core.mckp import items_from_curves
-from repro.core.profiling import optimized_item_names
+from repro.core import BufferPolicy, MethodConfig
+from repro.exp import ExperimentRunner, Scenario, WorkloadSpec, run_scenario, sweep
 from repro.mem.partition import PartitionMode
 from repro.rtos.shmalloc import _default_order
 
-APP1 = partial(two_jpeg_canny_workload, scale="paper", frames=APP1_FRAMES)
 
-
-def apply_plan_and_run(method, report, fifo_policy):
-    """Re-plan with a different FIFO policy and simulate."""
-    config = method.platform_config
-    network = method.network_builder()
-    buffers = buffer_units(network, config.unit_bytes, fifo_policy)
-    budget = config.n_allocation_units - sum(buffers.values())
-    items = items_from_curves(
-        report.profile.curve_list(optimized_item_names(network)),
-        report.profile.sizes,
+def _fifo_misses(record):
+    return sum(
+        misses
+        for owner, misses in record.partitioned["misses_by_owner"].items()
+        if owner.startswith("fifo:")
     )
-    solution = solve_mckp_dp(items, budget)
-    from repro.core import PartitionPlan
-    plan = PartitionPlan.from_parts(
-        solution.allocation, buffers, config.n_allocation_units
-    )
-    return method.simulate(plan)
 
 
-def test_ablation_fifo_policy(benchmark, app1_method, app1_report):
+def test_ablation_fifo_policy(benchmark, experiment_store):
     """All-hit FIFOs (the paper's rule) vs all-miss vs undersized."""
-    results = {}
-    results[BufferPolicy.ALL_HIT] = app1_report.partitioned_metrics
+    scenarios = sweep(
+        replace(APP1_SCENARIO, tag="ablation-fifo"),
+        fifo_policy=[
+            BufferPolicy.ALL_HIT, BufferPolicy.ALL_MISS,
+            BufferPolicy.UNDERSIZED,
+        ],
+    )
 
-    def run_other_policies():
-        for policy in (BufferPolicy.ALL_MISS, BufferPolicy.UNDERSIZED):
-            results[policy] = apply_plan_and_run(
-                app1_method, app1_report, policy
-            )
-        return results
-
-    benchmark.pedantic(run_other_policies, rounds=1, iterations=1)
-    fifo_misses = {}
-    for policy, metrics in results.items():
-        fifo_misses[policy] = sum(
-            stats.misses for name, stats in metrics.l2_by_owner.items()
-            if name.startswith("fifo:")
-        )
+    store = benchmark.pedantic(
+        ExperimentRunner(workers=1).run,
+        args=(scenarios,), kwargs={"store": experiment_store},
+        rounds=1, iterations=1,
+    )
+    records = {
+        record.axes["fifo_policy"]: record
+        for record in store.filter(tag="ablation-fifo")
+    }
     artifact = "\n".join(
-        f"{policy.value:12s}: total={metrics.l2_misses:8d} "
-        f"fifo-misses={fifo_misses[policy]:8d}"
-        for policy, metrics in results.items()
+        f"{policy:12s}: total={record.partitioned['misses']:8d} "
+        f"fifo-misses={_fifo_misses(record):8d}"
+        for policy, record in records.items()
     )
     write_artifact("ablation_fifo_policy.txt",
                    "FIFO buffer policy ablation (app 1)\n" + artifact)
     # The paper's rule: sizing the partition to the FIFO leaves only
     # cold misses; the alternatives miss (predictably) much more.
-    assert fifo_misses[BufferPolicy.ALL_HIT] < fifo_misses[BufferPolicy.ALL_MISS]
-    assert fifo_misses[BufferPolicy.ALL_HIT] < fifo_misses[BufferPolicy.UNDERSIZED]
+    all_hit = _fifo_misses(records["all-hit"])
+    assert all_hit < _fifo_misses(records["all-miss"])
+    assert all_hit < _fifo_misses(records["undersized"])
 
 
-def test_ablation_way_partitioning(benchmark, platform_config, app1_report):
+def test_ablation_way_partitioning(benchmark, app1_report, experiment_store):
     """Column caching: at 4 ways only 4 owners get exclusive columns,
-    so interference survives -- the paper's granularity criticism."""
-
-    def run_way_partitioned():
-        network = APP1()
-        platform = Platform(
-            network, platform_config, mode=PartitionMode.WAY_PARTITIONED
-        )
-        big_four = ("Raster1", "BackEnd1", "Raster2", "LowPass")
-        ways = {f"task:{name}": (i,) for i, name in enumerate(big_four)}
-        platform.cache_controller.program_way_partitions(ways)
-        return platform.run()
-
-    metrics = benchmark.pedantic(run_way_partitioned, rounds=1, iterations=1)
+    so interference survives -- the paper's granularity criticism.  The
+    way scenario shares the session's profile key, so only the
+    way-partitioned simulation itself runs here."""
+    scenario = replace(
+        APP1_SCENARIO,
+        partition_mode=PartitionMode.WAY_PARTITIONED,
+        tag="ablation-way",
+    )
+    outcome = benchmark.pedantic(
+        run_scenario, args=(scenario,), rounds=1, iterations=1
+    )
+    record = experiment_store.append(outcome.record)
     artifact = "\n".join([
         "way-partitioning (column caching) vs set-partitioning (app 1)",
         f"  shared          : misses={app1_report.shared_metrics.l2_misses:,} "
         f"cross-evictions={app1_report.shared_metrics.l2_cross_evictions:,}",
-        f"  way-partitioned : misses={metrics.l2_misses:,} "
-        f"cross-evictions={metrics.l2_cross_evictions:,}",
+        f"  way-partitioned : misses={record.partitioned['misses']:,} "
+        f"cross-evictions={record.partitioned['cross_evictions']:,} "
+        f"columns={sorted(record.payload['way_assignment'])}",
         f"  set-partitioned : misses={app1_report.partitioned_metrics.l2_misses:,} "
         f"cross-evictions={app1_report.partitioned_metrics.l2_cross_evictions:,}",
     ])
     write_artifact("ablation_way_partitioning.txt", artifact)
     # Way partitioning cannot eliminate interference for 15 tasks...
-    assert metrics.l2_cross_evictions > 0
+    assert record.partitioned["cross_evictions"] > 0
     # ...while set partitioning does.
     assert app1_report.partitioned_metrics.l2_cross_evictions == 0
 
 
-@pytest.mark.parametrize("unit_sets", [4, 8, 16])
-def test_ablation_granularity(benchmark, unit_sets):
+def test_ablation_granularity(benchmark, experiment_store):
     """Allocation-unit sweep on a synthetic pipeline: finer units track
-    working sets more tightly (less internal fragmentation)."""
-    from dataclasses import replace
-
-    config = replace(CakeConfig(), allocation_unit_sets=unit_sets)
-    builder = partial(make_pipeline, n_stages=4, n_tokens=48,
-                      work_bytes=24 * 1024)
-
-    def run_partitioned():
-        network = builder()
-        platform = Platform(network, config,
-                            mode=PartitionMode.SET_PARTITIONED)
-        unit_bytes = config.unit_bytes
-        units = {}
-        for task, spec in network.tasks.items():
-            units[f"task:{task}"] = max(
-                1, -(-(spec.heap_bytes + 4096) // unit_bytes)
-            )
-        for name, fifo in network.fifos.items():
-            units[f"fifo:{name}"] = max(1, -(-fifo.buffer_bytes // unit_bytes))
-        platform.cache_controller.program_set_partitions(units)
-        metrics = platform.run()
-        return metrics, sum(units.values()) * unit_bytes
-
-    (metrics, footprint) = benchmark.pedantic(
-        run_partitioned, rounds=1, iterations=1
+    working sets more tightly, and every granularity stays
+    interference-free under the full method."""
+    base = Scenario(
+        workload=WorkloadSpec(
+            "pipeline",
+            {"n_stages": 4, "n_tokens": 48, "work_bytes": 24 * 1024},
+        ),
+        cake=CakeConfig(),
+        method=MethodConfig(sizes=[1, 2, 4, 8, 16]),
+        tag="ablation-granularity",
     )
-    write_artifact(
-        f"ablation_granularity_{unit_sets}sets.txt",
-        f"unit={unit_sets} sets: misses={metrics.l2_misses:,} "
-        f"allocated={footprint:,} bytes",
+
+    def granularity(scenario, unit_sets):
+        # Scale the size menu with the unit so every granularity offers
+        # the same byte range (up to 32 KB per item); a menu fixed in
+        # *units* would cap fine-grained scenarios below the working
+        # sets and thrash.
+        cake = scenario.cake
+        unit_bytes = (unit_sets * cake.hierarchy.l2_geometry.ways
+                      * cake.hierarchy.l2_geometry.line_size)
+        menu, size = [], 1
+        while size * unit_bytes <= 32 * 1024:
+            menu.append(size)
+            size *= 2
+        return scenario.with_cake(
+            allocation_unit_sets=unit_sets
+        ).with_method(sizes=menu)
+
+    from repro.exp import Grid
+
+    scenarios = Grid(base).axis(
+        "allocation_unit_sets", [4, 8, 16], apply=granularity
+    ).scenarios()
+    store = benchmark.pedantic(
+        ExperimentRunner(workers=1).run,
+        args=(scenarios,), kwargs={"store": experiment_store},
+        rounds=1, iterations=1,
     )
-    assert metrics.l2_cross_evictions == 0
+    records = list(store.filter(tag="ablation-granularity"))
+    artifact = "\n".join(
+        f"unit={record.axes['allocation_unit_sets']:2d} sets: "
+        f"misses={record.partitioned['misses']:,} "
+        f"plan-units={sum(record.plan.values()):,}"
+        for record in records
+    )
+    write_artifact("ablation_granularity.txt",
+                   "allocation granularity sweep\n" + artifact)
+    assert len(records) == 3
+    allocated_bytes = []
+    for record in records:
+        assert record.partitioned["cross_evictions"] == 0
+        unit_sets = record.axes["allocation_unit_sets"]
+        allocated_bytes.append(sum(record.plan.values()) * unit_sets)
+    # Finer units track working sets more tightly: internal
+    # fragmentation (allocated capacity) grows with the unit size.
+    assert allocated_bytes == sorted(allocated_bytes)
 
 
-def test_ablation_scheduling(benchmark, platform_config, app1_report):
+def test_ablation_scheduling(benchmark, app1_report, experiment_store):
     """Static pinning vs migrating round-robin under partitioning:
     compositional miss counts survive the scheduling change (misses
     stay close), demonstrating scheduling-independence of the method."""
-    from dataclasses import replace
-
-    def run_static():
-        config = replace(platform_config, scheduling="static")
-        network = APP1()
-        platform = Platform(network, config,
-                            mode=PartitionMode.SET_PARTITIONED)
-        platform.cache_controller.program_set_partitions(
-            app1_report.plan.units_by_owner
-        )
-        return platform.run()
-
-    static_metrics = benchmark.pedantic(run_static, rounds=1, iterations=1)
+    scenario = replace(
+        APP1_SCENARIO,
+        cake=replace(APP1_SCENARIO.cake, scheduling="static"),
+        tag="ablation-scheduling",
+    )
+    outcome = benchmark.pedantic(
+        run_scenario, args=(scenario,), rounds=1, iterations=1
+    )
+    record = experiment_store.append(outcome.record)
     migrate_misses = app1_report.partitioned_metrics.l2_misses
-    drift = abs(static_metrics.l2_misses - migrate_misses) / migrate_misses
+    static_misses = record.partitioned["misses"]
+    drift = abs(static_misses - migrate_misses) / migrate_misses
     write_artifact(
         "ablation_scheduling.txt",
         "\n".join([
             "scheduling ablation under partitioning (app 1)",
             f"  migrate: misses={migrate_misses:,}",
-            f"  static : misses={static_metrics.l2_misses:,}",
+            f"  static : misses={static_misses:,}",
             f"  drift  : {drift:.2%}",
         ]),
     )
-    assert static_metrics.l2_cross_evictions == 0
+    assert record.partitioned["cross_evictions"] == 0
     assert drift < 0.15
 
 
-def test_ablation_solvers(benchmark, app1_report, platform_config):
-    """Exact DP vs greedy vs MILP on the measured curves."""
-    network = APP1()
-    buffers = buffer_units(network, platform_config.unit_bytes,
-                           BufferPolicy.ALL_HIT)
-    budget = platform_config.n_allocation_units - sum(buffers.values())
-    items = items_from_curves(
-        app1_report.profile.curve_list(optimized_item_names(network)),
-        app1_report.profile.sizes,
+def test_ablation_solvers(benchmark, experiment_store):
+    """Exact DP vs greedy vs MILP, end to end.  All three share one
+    profile key (the solver is not a profiling input), so the grid
+    costs three optimizations + partitioned simulations."""
+    scenarios = sweep(
+        replace(APP1_SCENARIO, tag="ablation-solver"),
+        solver=["dp", "greedy", "milp"],
     )
-
-    def solve_all():
-        return {
-            "dp": solve_mckp_dp(items, budget),
-            "greedy": solve_mckp_greedy(items, budget),
-            "milp": solve_mckp_milp(items, budget),
-        }
-
-    solutions = benchmark(solve_all)
+    store = benchmark.pedantic(
+        ExperimentRunner(workers=1).run,
+        args=(scenarios,), kwargs={"store": experiment_store},
+        rounds=1, iterations=1,
+    )
+    records = {
+        record.axes["solver"]: record
+        for record in store.filter(tag="ablation-solver")
+    }
     artifact = "\n".join(
-        f"{name:7s}: predicted misses={solution.total_misses:,.0f} "
-        f"units={solution.total_units}"
-        for name, solution in solutions.items()
+        f"{solver:7s}: predicted misses={record.predicted_misses:,.0f} "
+        f"simulated={record.partitioned['misses']:,}"
+        for solver, record in records.items()
     )
     write_artifact("ablation_solvers.txt",
                    "solver comparison (app 1 curves)\n" + artifact)
-    assert solutions["dp"].total_misses == pytest.approx(
-        solutions["milp"].total_misses
-    )
-    assert solutions["greedy"].total_misses <= \
-        solutions["dp"].total_misses * 1.2
+    dp, milp = records["dp"], records["milp"]
+    assert abs(dp.predicted_misses - milp.predicted_misses) <= \
+        1e-6 * max(1.0, dp.predicted_misses)
+    assert records["greedy"].predicted_misses <= dp.predicted_misses * 1.2
 
 
 def test_ablation_malloc_order(benchmark):
     """§4.1: with dense (bump) placement, permuting the init-time
     allocation order changes shared-cache misses but not partitioned
     ones.  A deliberately small L2 (64 KB) keeps the cache contended so
-    placement matters."""
+    placement matters.  (Placement policy is a platform-construction
+    knob, not a scenario axis, so this drives the platform directly --
+    once per order, no sweep.)"""
     config = CakeConfig().with_l2_size(64 * 1024)
     builder = partial(make_pipeline, n_stages=4, n_tokens=32,
                       work_bytes=16 * 1024)
-    orders = [None, list(reversed(_default_order(builder())))]
 
-    def run_all():
-        shared, partitioned = [], []
-        for order in orders:
-            platform = Platform(builder(), config,
-                                malloc_order=order, placement="bump")
-            shared.append(platform.run().l2_misses)
-            platform = Platform(builder(), config,
-                                mode=PartitionMode.SET_PARTITIONED,
-                                malloc_order=order, placement="bump")
-            units = {}
-            for task in platform.network.tasks:
-                units[f"task:{task}"] = 4
-            for name in platform.network.fifos:
-                units[f"fifo:{name}"] = 2
-            platform.cache_controller.program_set_partitions(units)
-            partitioned.append(platform.run().l2_misses)
-        return shared, partitioned
+    def run_order(order):
+        platform = Platform(builder(), config,
+                            malloc_order=order, placement="bump")
+        shared = platform.run().l2_misses
+        platform = Platform(builder(), config,
+                            mode=PartitionMode.SET_PARTITIONED,
+                            malloc_order=order, placement="bump")
+        units = {}
+        for task in platform.network.tasks:
+            units[f"task:{task}"] = 4
+        for name in platform.network.fifos:
+            units[f"fifo:{name}"] = 2
+        platform.cache_controller.program_set_partitions(units)
+        return shared, platform.run().l2_misses
 
-    shared, partitioned = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    def run_both_orders():
+        default = run_order(None)
+        reversed_ = run_order(list(reversed(_default_order(builder()))))
+        return default, reversed_
+
+    (shared_a, part_a), (shared_b, part_b) = benchmark.pedantic(
+        run_both_orders, rounds=1, iterations=1
+    )
     write_artifact(
         "ablation_malloc_order.txt",
         "\n".join([
             "malloc-order sensitivity (bump placement)",
-            f"  shared      : {shared[0]:,} vs {shared[1]:,} misses",
-            f"  partitioned : {partitioned[0]:,} vs {partitioned[1]:,} misses",
+            f"  shared      : {shared_a:,} vs {shared_b:,} misses",
+            f"  partitioned : {part_a:,} vs {part_b:,} misses",
         ]),
     )
-    assert shared[0] != shared[1]
-    assert partitioned[0] == partitioned[1]
+    assert shared_a != shared_b
+    assert part_a == part_b
 
 
 def test_ablation_shared_idct_partition(benchmark, platform_config,
@@ -260,7 +275,7 @@ def test_ablation_shared_idct_partition(benchmark, platform_config,
     miss cost -- sharing is safe exactly when contents are compatible."""
 
     def run_shared_idct():
-        network = APP1()
+        network = APP1_SCENARIO.workload.build()()
         platform = Platform(network, platform_config,
                             mode=PartitionMode.SET_PARTITIONED)
         units = dict(app1_report.plan.units_by_owner)

@@ -23,7 +23,7 @@ PAPER_TABLE1 = {
 
 def test_table1_allocation(benchmark, app1_method, app1_report):
     profile = app1_report.profile
-    plan = benchmark(app1_method.optimize, profile)
+    plan = benchmark(app1_method.optimize, profile).plan
 
     rows = []
     for task, paper_units in PAPER_TABLE1.items():

@@ -19,7 +19,7 @@ PAPER_TABLE2 = {
 
 def test_table2_allocation(benchmark, app2_method, app2_report):
     profile = app2_report.profile
-    plan = benchmark(app2_method.optimize, profile)
+    plan = benchmark(app2_method.optimize, profile).plan
 
     rows = []
     for task, paper_units in PAPER_TABLE2.items():

@@ -10,7 +10,10 @@ paper's): a small software-defined-radio-style chain
 Each task program is a plain generator over the TaskContext API; memory
 behaviour is declared with the pattern kit.  The compositional method
 then profiles, optimizes and validates it exactly as it does the paper
-workloads.
+workloads.  To sweep a custom application over platform or method
+axes, register its builder with
+:func:`repro.exp.register_workload` and expand a grid with
+:func:`repro.exp.sweep` (see ``examples/design_space_exploration.py``).
 
 Run:  python examples/custom_application.py
 """

@@ -1,77 +1,105 @@
 #!/usr/bin/env python
-"""Design-space exploration with the analytic models.
+"""Design-space exploration with the declarative experiment API.
 
-Sweeps two axes the paper discusses:
+Three sweeps the paper discusses, all expressed as scenario grids and
+executed by the :class:`~repro.exp.ExperimentRunner` (no hand-rolled
+loops):
 
 1. **L2 capacity** -- how the shared-vs-partitioned gap evolves as the
    cache grows (the paper's closing 1 MB data point generalized).
-2. **Task-to-processor assignment** -- using the §3.1 throughput model
-   ``1 / max_k Y(P_k)`` to compare naive round-robin pinning with
-   LPT + local-search assignment on the measured execution times.
+   Every grid point shares one profiling pass: miss curves are
+   measured on a virtual L2, so the capacity axis re-profiles nothing.
+2. **Solver x associativity** -- exact DP vs greedy across 4/8-way L2s.
+3. **Task-to-processor assignment** -- the §3.1 throughput model
+   ``1 / max_k Y(P_k)`` comparing naive round-robin pinning with
+   LPT + local-search assignment (analytic, no simulation sweep).
 
 Run:  python examples/design_space_exploration.py
 """
 
-from functools import partial
+from repro.analysis import format_table, report_from_store
+from repro.cake import CakeConfig
+from repro.core import MethodConfig, ThroughputModel, assign_tasks_lpt
+from repro.exp import ExperimentRunner, Scenario, WorkloadSpec, run_scenario, sweep
 
-from repro.analysis import format_table
-from repro.apps.synthetic import make_pipeline
-from repro.cake import CakeConfig, Platform
-from repro.core import (
-    CompositionalMethod,
-    MethodConfig,
-    ThroughputModel,
-    assign_tasks_lpt,
+PIPELINE5 = WorkloadSpec(
+    "pipeline", {"n_stages": 5, "n_tokens": 48, "work_bytes": 16 * 1024}
 )
-from repro.mem.partition import PartitionMode
 
 
 def l2_size_sweep():
-    builder = partial(make_pipeline, n_stages=5, n_tokens=48,
-                      work_bytes=16 * 1024)
-    rows = []
-    for size_kb in (128, 256, 512, 1024):
-        config = CakeConfig().with_l2_size(size_kb * 1024)
-        shared = Platform(builder(), config, mode=PartitionMode.SHARED).run()
-        method = CompositionalMethod(
-            builder, config, MethodConfig(sizes=[1, 2, 4, 8, 16])
-        )
-        profile = method.profile()
-        plan = method.optimize(profile)
-        partitioned = method.simulate(plan)
-        rows.append((
-            f"{size_kb} KB",
-            f"{shared.l2_miss_rate:.2%}",
-            f"{partitioned.l2_miss_rate:.2%}",
-            f"{shared.l2_misses / max(1, partitioned.l2_misses):.2f}x",
-        ))
-    print(format_table(
-        ("L2 size", "shared miss rate", "partitioned", "reduction"),
-        rows, title="L2 capacity sweep (synthetic 5-stage pipeline)",
+    # Each sweep gets its own runner (= its own record stream); the
+    # profiling/baseline memo tables are process-wide, so separate
+    # runners still share measurements.
+    runner = ExperimentRunner(workers=2)
+    scenarios = sweep(
+        Scenario(
+            workload=PIPELINE5,
+            cake=CakeConfig(),
+            method=MethodConfig(sizes=[1, 2, 4, 8, 16]),
+        ),
+        l2_size_kb=[128, 256, 512, 1024],
+    )
+    store = runner.run(scenarios)
+    print(report_from_store(
+        store,
+        title="L2 capacity sweep (synthetic 5-stage pipeline)",
+        columns=("l2_kb", "shared_miss_rate", "partitioned_miss_rate",
+                 "miss_reduction_factor"),
+    ))
+    print(f"profiling passes for {len(scenarios)} scenarios: "
+          f"{runner.last_stats['profiles_computed']} "
+          f"(capacity re-profiles nothing)")
+
+
+def solver_ways_sweep():
+    runner = ExperimentRunner(workers=2)
+    scenarios = sweep(
+        Scenario(
+            workload=PIPELINE5,
+            cake=CakeConfig().with_l2_size(256 * 1024),
+            method=MethodConfig(sizes=[1, 2, 4, 8, 16]),
+        ),
+        l2_ways=[4, 8],
+        solver=["dp", "greedy"],
+    )
+    store = runner.run(scenarios)
+    print(report_from_store(
+        store,
+        title="solver x associativity sweep",
+        columns=("l2_ways", "solver", "predicted_misses",
+                 "partitioned_misses", "miss_reduction_factor"),
     ))
 
 
 def assignment_study():
-    def builder():
+    def build():
         # Heterogeneous stages: two heavy filters among light ones, so
         # the assignment actually matters.
-        network = make_pipeline(n_stages=6, n_tokens=32,
-                                work_bytes=8 * 1024)
+        network = WorkloadSpec(
+            "pipeline", {"n_stages": 6, "n_tokens": 32,
+                         "work_bytes": 8 * 1024},
+        ).build()()
         network.tasks["stage1"].params["reread"] = 6
         network.tasks["stage1"].params["instr"] = 20_000
         network.tasks["stage3"].params["reread"] = 4
         network.tasks["stage3"].params["instr"] = 12_000
         return network
 
-    config = CakeConfig(n_cpus=3)
-    method = CompositionalMethod(
-        builder, config, MethodConfig(sizes=[1, 2, 4, 8])
+    from repro.exp import register_workload
+
+    register_workload("heterogeneous_pipeline", build, overwrite=True)
+    scenario = Scenario(
+        workload=WorkloadSpec("heterogeneous_pipeline"),
+        cake=CakeConfig(n_cpus=3),
+        method=MethodConfig(sizes=[1, 2, 4, 8]),
     )
-    profile = method.profile()
-    plan = method.optimize(profile)
+    outcome = run_scenario(scenario)
+    report = outcome.report
+    config, profile, plan = scenario.effective_cake, report.profile, report.plan
+
     model = ThroughputModel(config, profile)
     allocation = plan.units_by_owner
-
     task_times = {
         name: model.task_time(name, plan.units_of(f"task:{name}"))
         for name in profile.instructions
@@ -96,6 +124,8 @@ def assignment_study():
 
 def main():
     l2_size_sweep()
+    print()
+    solver_ways_sweep()
     print()
     assignment_study()
 

@@ -5,6 +5,12 @@ Reproduces Table 1 / Figure 2 / Figure 3 for the 2x-JPEG + Canny
 workload at the paper's picture formats (about a minute); ``--quick``
 exercises the same pipeline on toy pictures in seconds.
 
+This example drives the single-scenario engine
+(:class:`~repro.core.CompositionalMethod`) directly; for multi-scenario
+studies of the same workload use the declarative experiment layer
+(``repro.exp``: the workload is registered as ``"two_jpeg_canny"``) --
+see ``examples/design_space_exploration.py``.
+
 Run:  python examples/jpeg_canny_pipeline.py [--quick]
 """
 

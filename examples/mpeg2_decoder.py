@@ -6,6 +6,12 @@ Reproduces Table 2 and the decoder's headline numbers, including the
 paper's CIF scale by default (about a minute); ``--quick`` exercises
 the same pipeline on toy pictures in seconds.
 
+This example drives the single-scenario engine
+(:class:`~repro.core.CompositionalMethod`) directly; for sweeps over
+the decoder (L2 geometry, solver, seeds) use the declarative
+experiment layer (``repro.exp``: the workload is registered as
+``"mpeg2"``).
+
 Run:  python examples/mpeg2_decoder.py [--quick]
 """
 

@@ -1,19 +1,22 @@
 #!/usr/bin/env python
 """Quickstart: make a small communicating application compositional.
 
-Builds a four-stage synthetic pipeline, runs it on a CAKE tile with a
-conventional shared L2, then runs the paper's full method (profile ->
-optimize -> partition -> validate) and compares the two.
+Declares one experiment :class:`~repro.exp.Scenario` -- a four-stage
+synthetic pipeline on a CAKE tile with a deliberately small 64 KB L2 --
+and executes it with :func:`repro.exp.run_scenario`, which runs the
+paper's full method (profile -> optimize -> partition -> validate)
+against the conventional shared-cache baseline.  The outcome carries
+both the paper-style :class:`~repro.core.MethodReport` and the
+JSON-stable :class:`~repro.exp.ScenarioRecord` that a sweep would
+stream into a :class:`~repro.exp.ResultStore`.
 
 Run:  python examples/quickstart.py
 """
 
-from functools import partial
-
-from repro.apps.synthetic import make_pipeline
-from repro.cake import CakeConfig
-from repro.core import CompositionalMethod, MethodConfig
 from repro.analysis import figure3_report, headline_report
+from repro.cake import CakeConfig
+from repro.core import MethodConfig
+from repro.exp import Scenario, WorkloadSpec, run_scenario
 
 
 def main():
@@ -22,15 +25,20 @@ def main():
     # tile gets a deliberately small 64 KB L2 so the four stages
     # genuinely contend for it -- the situation the paper's method
     # untangles.
-    builder = partial(make_pipeline, n_stages=4, n_tokens=64,
-                      token_bytes=1024, work_bytes=12 * 1024)
-
-    method = CompositionalMethod(
-        builder,
-        CakeConfig(n_cpus=2).with_l2_size(64 * 1024),
-        MethodConfig(sizes=[1, 2, 4, 8], solver="dp"),
+    scenario = Scenario(
+        workload=WorkloadSpec(
+            "pipeline",
+            {"n_stages": 4, "n_tokens": 64, "token_bytes": 1024,
+             "work_bytes": 12 * 1024},
+        ),
+        cake=CakeConfig(n_cpus=2).with_l2_size(64 * 1024),
+        method=MethodConfig(sizes=[1, 2, 4, 8], solver="dp"),
     )
-    report = method.run()
+    print(f"scenario {scenario.scenario_id}: {scenario.describe()}")
+    print()
+
+    outcome = run_scenario(scenario)
+    record, report = outcome.record, outcome.report
 
     print(report.summary())
     print()
@@ -41,6 +49,11 @@ def main():
     print(headline_report(report))
     print()
     print(figure3_report(report, "Compositionality check"))
+    print()
+    print("Record for the result store (JSONL line, timing included):")
+    print(f"  scenario_id={record.scenario_id}  "
+          f"reduction={record.miss_reduction_factor:.2f}x  "
+          f"axes={record.axes['l2_kb']}KB/{record.axes['solver']}")
 
 
 if __name__ == "__main__":

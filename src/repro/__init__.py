@@ -12,7 +12,9 @@ The package provides:
 - the two paper workloads (:mod:`repro.apps`),
 - the paper's contribution -- miss-curve profiling, the MCKP/MILP
   partitioning optimizers, throughput/power models and the end-to-end
-  compositional method (:mod:`repro.core`), and
+  compositional method (:mod:`repro.core`),
+- declarative experiments -- scenario grids, the parallel sweep runner
+  and the JSONL result store (:mod:`repro.exp`), and
 - reporting helpers (:mod:`repro.analysis`).
 
 Quickstart::

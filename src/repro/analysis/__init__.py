@@ -13,6 +13,8 @@ from repro.analysis.export import (
     load_plan,
     load_profile,
     miss_curves_to_csv,
+    profile_from_payload,
+    profile_to_payload,
     save_plan,
     save_profile,
 )
@@ -20,6 +22,7 @@ from repro.analysis.report import (
     figure2_report,
     figure3_report,
     headline_report,
+    report_from_store,
     table_report,
 )
 from repro.analysis.tables import format_table
@@ -34,6 +37,9 @@ __all__ = [
     "load_profile",
     "log_bars",
     "miss_curves_to_csv",
+    "profile_from_payload",
+    "profile_to_payload",
+    "report_from_store",
     "save_plan",
     "save_profile",
     "table_report",

@@ -23,6 +23,8 @@ __all__ = [
     "load_plan",
     "load_profile",
     "miss_curves_to_csv",
+    "profile_from_payload",
+    "profile_to_payload",
     "save_plan",
     "save_profile",
 ]
@@ -30,9 +32,9 @@ __all__ = [
 _PathLike = Union[str, Path]
 
 
-def save_profile(profile: ProfileResult, path: _PathLike) -> Path:
-    """Serialise a profile (curves, accesses, instructions) to JSON."""
-    payload = {
+def profile_to_payload(profile: ProfileResult) -> dict:
+    """The JSON-serialisable form of a profile."""
+    return {
         "sizes": profile.sizes,
         "curves": {
             owner: sorted(
@@ -48,14 +50,10 @@ def save_profile(profile: ProfileResult, path: _PathLike) -> Path:
         },
         "instructions": profile.instructions,
     }
-    path = Path(path)
-    path.write_text(json.dumps(payload, indent=1, sort_keys=True))
-    return path
 
 
-def load_profile(path: _PathLike) -> ProfileResult:
-    """Inverse of :func:`save_profile`."""
-    payload = json.loads(Path(path).read_text())
+def profile_from_payload(payload: dict) -> ProfileResult:
+    """Inverse of :func:`profile_to_payload`."""
     profile = ProfileResult(sizes=list(payload["sizes"]))
     for owner, pairs in payload["curves"].items():
         profile.curves[owner] = MissCurve.from_pairs(owner, pairs)
@@ -65,6 +63,20 @@ def load_profile(path: _PathLike) -> ProfileResult:
         }
     profile.instructions = dict(payload["instructions"])
     return profile
+
+
+def save_profile(profile: ProfileResult, path: _PathLike) -> Path:
+    """Serialise a profile (curves, accesses, instructions) to JSON."""
+    path = Path(path)
+    path.write_text(
+        json.dumps(profile_to_payload(profile), indent=1, sort_keys=True)
+    )
+    return path
+
+
+def load_profile(path: _PathLike) -> ProfileResult:
+    """Inverse of :func:`save_profile`."""
+    return profile_from_payload(json.loads(Path(path).read_text()))
 
 
 def save_plan(plan: PartitionPlan, path: _PathLike) -> Path:

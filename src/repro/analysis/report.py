@@ -7,16 +7,17 @@ harness prints them and EXPERIMENTS.md records them.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.analysis.charts import log_bars
 from repro.analysis.tables import format_table
-from repro.core.method import MethodReport
+from repro.core.method import MethodReport, format_reduction_factor
 
 __all__ = [
     "figure2_report",
     "figure3_report",
     "headline_report",
+    "report_from_store",
     "table_report",
 ]
 
@@ -59,7 +60,7 @@ def figure2_report(report: MethodReport, title: str) -> str:
     totals = (
         f"total: {report.shared_metrics.l2_misses:,} shared vs "
         f"{report.partitioned_metrics.l2_misses:,} partitioned "
-        f"({report.miss_reduction_factor:.2f}x fewer)"
+        f"({format_reduction_factor(report.miss_reduction_factor)} fewer)"
     )
     return f"{chart}\n{totals}"
 
@@ -89,6 +90,54 @@ def figure3_report(report: MethodReport, title: str) -> str:
     return f"{table}\n{verdict}"
 
 
+def _store_cell(column: str, value) -> str:
+    """Render one result-store table cell for the text report."""
+    if value is None:
+        return "-"
+    if column.endswith("miss_rate") or column in (
+        "cpi_improvement", "compositionality"
+    ):
+        return f"{value:.2%}"
+    if column == "miss_reduction_factor":
+        return format_reduction_factor(value)
+    if isinstance(value, float):
+        return f"{value:,.3f}"
+    if isinstance(value, list):
+        return str(value)
+    return str(value)
+
+
+def report_from_store(
+    store,
+    title: str = "experiments",
+    columns: Optional[Sequence[str]] = None,
+) -> str:
+    """Render a :class:`~repro.exp.store.ResultStore` as a text table.
+
+    One row per record, with the sweep axes and headline metrics; the
+    tables/figures of the paper-style reports render straight from a
+    store instead of per-run report objects.  ``columns`` defaults to
+    :attr:`~repro.exp.store.ResultStore.DEFAULT_COLUMNS`.
+    """
+    header, rows = store.to_table(columns)
+    rendered = [
+        [_store_cell(column, value) for column, value in zip(header, row)]
+        for row in rows
+    ]
+    table = format_table(tuple(header), rendered,
+                         title=f"{title} ({len(rows)} scenarios)")
+    set_records = [r for r in store if r.mode == "set"]
+    if set_records:
+        worst = max(
+            (r.compositionality_max_rel_diff or 0.0) for r in set_records
+        )
+        table += (
+            f"\nworst compositionality difference across the sweep: "
+            f"{worst:.2%} (paper bound: 2%)"
+        )
+    return table
+
+
 def headline_report(report: MethodReport) -> str:
     """The §5 in-text numbers for one application."""
     rows = [
@@ -96,7 +145,8 @@ def headline_report(report: MethodReport) -> str:
          f"{report.partitioned_miss_rate:.2%}"),
         ("L2 misses", f"{report.shared_metrics.l2_misses:,}",
          f"{report.partitioned_metrics.l2_misses:,}"),
-        ("miss reduction", "1.00x", f"{report.miss_reduction_factor:.2f}x"),
+        ("miss reduction", "1.00x",
+         format_reduction_factor(report.miss_reduction_factor)),
         ("mean CPI", f"{report.shared_metrics.mean_cpi:.3f}",
          f"{report.partitioned_metrics.mean_cpi:.3f}"),
         ("CPI improvement", "-", f"{report.cpi_improvement:.1%}"),

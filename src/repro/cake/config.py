@@ -76,11 +76,56 @@ class CakeConfig:
         )
 
     def with_l2_sets(self, sets: int) -> "CakeConfig":
-        """A copy with an explicit L2 set count (profiling caches)."""
+        """A copy with an explicit L2 set count (profiling caches).
+
+        The set count is validated here, at the API boundary: a bad
+        value fails with a clear :class:`ConfigurationError` at
+        construction instead of a geometry-layer error (or worse, deep
+        inside a run).
+        """
+        if sets <= 0 or sets & (sets - 1):
+            raise ConfigurationError(
+                f"with_l2_sets({sets}): L2 set count must be a positive "
+                f"power of two"
+            )
+        if sets % self.allocation_unit_sets:
+            raise ConfigurationError(
+                f"with_l2_sets({sets}): set count must be divisible by "
+                f"allocation_unit_sets={self.allocation_unit_sets}"
+            )
         old = self.hierarchy.l2_geometry
         new_geometry = CacheGeometry(
             sets=sets, ways=old.ways, line_size=old.line_size
         )
+        return replace(
+            self, hierarchy=replace(self.hierarchy, l2_geometry=new_geometry)
+        )
+
+    def with_l2_ways(self, ways: int) -> "CakeConfig":
+        """A copy with a different L2 associativity at equal capacity.
+
+        Trading sets for ways keeps the cache size constant, which is
+        what an associativity axis in a design-space sweep should vary.
+        """
+        old = self.hierarchy.l2_geometry
+        if ways <= 0:
+            raise ConfigurationError(
+                f"with_l2_ways({ways}): ways must be positive"
+            )
+        if old.size_bytes % (ways * old.line_size):
+            raise ConfigurationError(
+                f"with_l2_ways({ways}): {old.size_bytes} bytes is not "
+                f"divisible into {ways} ways of {old.line_size}-byte lines"
+            )
+        new_geometry = CacheGeometry.from_size(
+            old.size_bytes, ways, old.line_size
+        )
+        if new_geometry.sets % self.allocation_unit_sets:
+            raise ConfigurationError(
+                f"with_l2_ways({ways}): resulting {new_geometry.sets} sets "
+                f"are not divisible by "
+                f"allocation_unit_sets={self.allocation_unit_sets}"
+            )
         return replace(
             self, hierarchy=replace(self.hierarchy, l2_geometry=new_geometry)
         )

@@ -19,7 +19,13 @@
 """
 
 from repro.core.allocation import BufferPolicy, PartitionPlan
-from repro.core.method import CompositionalMethod, MethodConfig, MethodReport
+from repro.core.method import (
+    CompositionalMethod,
+    MethodConfig,
+    MethodReport,
+    OptimizationResult,
+    format_reduction_factor,
+)
 from repro.core.milp import solve_mckp_milp
 from repro.core.misscurve import MissCurve
 from repro.core.mckp import solve_mckp_bruteforce, solve_mckp_dp, solve_mckp_greedy
@@ -36,11 +42,13 @@ __all__ = [
     "MethodConfig",
     "MethodReport",
     "MissCurve",
+    "OptimizationResult",
     "PartitionPlan",
     "ProfileResult",
     "ThroughputModel",
     "assign_tasks_lpt",
     "compare_expected_simulated",
+    "format_reduction_factor",
     "profile_miss_curves",
     "solve_mckp_bruteforce",
     "solve_mckp_dp",

@@ -40,7 +40,15 @@ from repro.errors import OptimizationError
 from repro.kpn.graph import ProcessNetwork
 from repro.mem.partition import PartitionMode
 
-__all__ = ["CompositionalMethod", "MethodConfig", "MethodReport"]
+__all__ = [
+    "CompositionalMethod",
+    "MethodConfig",
+    "MethodReport",
+    "OptimizationResult",
+    "cpi_improvement",
+    "format_reduction_factor",
+    "reduction_factor",
+]
 
 
 @dataclass(frozen=True)
@@ -58,6 +66,57 @@ class MethodConfig:
     def __post_init__(self) -> None:
         if self.solver not in ("dp", "greedy", "milp"):
             raise OptimizationError(f"unknown solver {self.solver!r}")
+        if self.profile_repeats < 1:
+            raise OptimizationError(
+                f"profile_repeats must be >= 1, got {self.profile_repeats}"
+            )
+        if self.sizes is not None:
+            sizes = list(self.sizes)
+            if not sizes:
+                raise OptimizationError("sizes menu must not be empty")
+            for size in sizes:
+                if not isinstance(size, int) or size <= 0:
+                    raise OptimizationError(
+                        f"sizes must be positive integers, got {size!r}"
+                    )
+            for small, large in zip(sizes, sizes[1:]):
+                if large <= small:
+                    raise OptimizationError(
+                        f"sizes must be strictly ascending, got {sizes}"
+                    )
+
+
+def reduction_factor(shared_misses: float, partitioned_misses: float) -> float:
+    """Shared misses / partitioned misses, with the degenerate cases.
+
+    A perfect partitioned run (zero misses) is ``float("inf")`` -- 0.0
+    would read as "no reduction" when the reduction is total; zero
+    misses on *both* sides is 1.0 (nothing to reduce).  The single
+    definition shared by :class:`MethodReport` and the result store's
+    records.
+    """
+    if partitioned_misses:
+        return shared_misses / partitioned_misses
+    return float("inf") if shared_misses else 1.0
+
+
+def cpi_improvement(shared_cpi: float, partitioned_cpi: float) -> float:
+    """Relative CPI reduction (the paper's ~20 % / ~4 %)."""
+    if shared_cpi == 0:
+        return 0.0
+    return (shared_cpi - partitioned_cpi) / shared_cpi
+
+
+def format_reduction_factor(factor: float, precision: int = 2) -> str:
+    """Render a miss-reduction factor, including the perfect case.
+
+    A partitioned run with zero misses yields ``float("inf")``; the
+    paper-style rendering for that is the infinity sign (every finite
+    report would read ``>Nx`` for any N).
+    """
+    if factor == float("inf"):
+        return "∞"
+    return f"{factor:.{precision}f}x"
 
 
 @dataclass
@@ -77,9 +136,14 @@ class MethodReport:
 
     @property
     def miss_reduction_factor(self) -> float:
-        """Shared misses / partitioned misses (the paper's 5x / 6.5x)."""
-        partitioned = self.partitioned_metrics.l2_misses
-        return self.shared_metrics.l2_misses / partitioned if partitioned else 0.0
+        """Shared misses / partitioned misses (the paper's 5x / 6.5x).
+
+        A perfect partitioned run (zero misses) is ``float("inf")`` --
+        0.0 would read as "no reduction" when the reduction is total.
+        """
+        return reduction_factor(
+            self.shared_metrics.l2_misses, self.partitioned_metrics.l2_misses
+        )
 
     @property
     def shared_miss_rate(self) -> float:
@@ -94,10 +158,9 @@ class MethodReport:
     @property
     def cpi_improvement(self) -> float:
         """Relative CPI reduction (the paper's ~20 % / ~4 %)."""
-        shared = self.shared_metrics.mean_cpi
-        if shared == 0:
-            return 0.0
-        return (shared - self.partitioned_metrics.mean_cpi) / shared
+        return cpi_improvement(
+            self.shared_metrics.mean_cpi, self.partitioned_metrics.mean_cpi
+        )
 
     def summary(self) -> str:
         """Digest in the shape of the paper's §5 reporting."""
@@ -109,7 +172,7 @@ class MethodReport:
             f"L2 miss rate         : {shared.l2_miss_rate:.2%} shared -> "
             f"{part.l2_miss_rate:.2%} partitioned",
             f"L2 misses            : {shared.l2_misses:,} -> {part.l2_misses:,} "
-            f"({self.miss_reduction_factor:.2f}x fewer)",
+            f"({format_reduction_factor(self.miss_reduction_factor)} fewer)",
             f"CPI                  : {shared.mean_cpi:.3f} -> {part.mean_cpi:.3f} "
             f"({self.cpi_improvement:.1%} better)",
             f"cross-owner evicts   : {shared.l2_cross_evictions:,} -> "
@@ -118,6 +181,19 @@ class MethodReport:
             f"{self.compositionality.max_relative_difference:.2%} of total misses",
         ]
         return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class OptimizationResult:
+    """What the optimization step produced, explicitly.
+
+    Earlier versions returned only the plan and stashed the solver
+    solution on the method instance (``_last_solution``); callers that
+    need the MCKP solution now receive it in the same return value.
+    """
+
+    plan: PartitionPlan
+    solution: MckpSolution
 
 
 class CompositionalMethod:
@@ -149,7 +225,7 @@ class CompositionalMethod:
             repeats=self.method_config.profile_repeats,
         )
 
-    def optimize(self, profile: ProfileResult) -> PartitionPlan:
+    def optimize(self, profile: ProfileResult) -> OptimizationResult:
         """Steps 2+3: size buffers, solve the MCKP for the rest."""
         config = self.platform_config
         network = self.network_builder()
@@ -177,8 +253,7 @@ class CompositionalMethod:
             total_units=config.n_allocation_units,
             predicted_misses=solution.total_misses,
         )
-        self._last_solution = solution
-        return plan
+        return OptimizationResult(plan=plan, solution=solution)
 
     def simulate(
         self, plan: Optional[PartitionPlan] = None
@@ -197,22 +272,33 @@ class CompositionalMethod:
             plan.apply(platform)
         return platform.run()
 
-    def run(self) -> MethodReport:
-        """The full pipeline."""
-        profile = self.profile()
-        plan = self.optimize(profile)
-        shared_metrics = self.simulate(None)
-        partitioned_metrics = self.simulate(plan)
+    def run(
+        self,
+        profile: Optional[ProfileResult] = None,
+        shared_metrics: Optional[RunMetrics] = None,
+    ) -> MethodReport:
+        """The full pipeline.
+
+        ``profile`` and ``shared_metrics`` can be injected by callers
+        that already measured them (the experiment runner memoizes both
+        across grid points); when omitted they are computed here.
+        """
+        if profile is None:
+            profile = self.profile()
+        optimization = self.optimize(profile)
+        if shared_metrics is None:
+            shared_metrics = self.simulate(None)
+        partitioned_metrics = self.simulate(optimization.plan)
         network = self.network_builder()
         items = optimized_item_names(network)
         compositionality = compare_expected_simulated(
-            profile, plan, partitioned_metrics, items
+            profile, optimization.plan, partitioned_metrics, items
         )
         return MethodReport(
             app_name=network.name,
             profile=profile,
-            plan=plan,
-            solution=self._last_solution,
+            plan=optimization.plan,
+            solution=optimization.solution,
             shared_metrics=shared_metrics,
             partitioned_metrics=partitioned_metrics,
             compositionality=compositionality,

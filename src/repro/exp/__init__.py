@@ -1,0 +1,64 @@
+"""Declarative experiments: scenario grids, sweep runner, result store.
+
+The paper's evaluation -- and every scaling direction on the roadmap --
+is a *sweep*: many (workload, platform, method) points, not one.  This
+package makes that the top-level API:
+
+- :mod:`repro.exp.scenario` -- the frozen :class:`Scenario` spec and
+  its content hashes (scenario identity, profiling identity).
+- :mod:`repro.exp.workloads` -- the named-workload registry scenarios
+  refer to (serialisable, pool-safe).
+- :mod:`repro.exp.grid` -- :class:`Grid` / :func:`sweep`, expanding
+  axes (L2 size/ways, CPUs, solver, sizes menu, app, seed, ...) into
+  deterministic scenario lists.
+- :mod:`repro.exp.runner` -- :class:`ExperimentRunner`, executing
+  scenarios inline or on a process pool with memoized profiling and
+  shared baselines, streaming records into a store.
+- :mod:`repro.exp.store` -- :class:`ResultStore`, the append-only JSONL
+  record stream with load/filter/to-table queries.
+
+Typical use::
+
+    from repro.exp import ExperimentRunner, Scenario, WorkloadSpec, sweep
+
+    base = Scenario(workload=WorkloadSpec("mpeg2", {"scale": "paper"}))
+    scenarios = sweep(base, l2_size_kb=[256, 512, 1024], solver=["dp"])
+    store = ExperimentRunner(workers=4).run(scenarios)
+    print(store.to_table())
+"""
+
+from repro.exp.grid import AXES, Grid, sweep
+from repro.exp.runner import (
+    ExperimentRunner,
+    ScenarioOutcome,
+    clear_caches,
+    execute_scenario,
+    run_scenario,
+)
+from repro.exp.scenario import Scenario, WorkloadSpec, content_hash
+from repro.exp.store import SCHEMA_VERSION, ResultStore, ScenarioRecord
+from repro.exp.workloads import (
+    register_workload,
+    registered_workloads,
+    workload_builder,
+)
+
+__all__ = [
+    "AXES",
+    "ExperimentRunner",
+    "Grid",
+    "ResultStore",
+    "SCHEMA_VERSION",
+    "Scenario",
+    "ScenarioOutcome",
+    "ScenarioRecord",
+    "WorkloadSpec",
+    "clear_caches",
+    "content_hash",
+    "execute_scenario",
+    "register_workload",
+    "registered_workloads",
+    "run_scenario",
+    "sweep",
+    "workload_builder",
+]

@@ -1,0 +1,366 @@
+"""Executing scenarios: memoized profiling, process pool, result stream.
+
+The runner turns scenario lists into :class:`~repro.exp.store.ResultStore`
+records in three phases:
+
+1. **Profile** -- every scenario that needs miss curves maps to a
+   :attr:`~repro.exp.scenario.Scenario.profile_key`; each *unique* key
+   is profiled exactly once (in the pool when ``workers > 1``) and
+   cached process-wide, so repeated grid points -- and whole L2-capacity
+   or solver sweeps -- never re-profile.
+2. **Baseline** -- the conventional shared-cache run depends only on
+   (workload, platform); it is memoized the same way, so method-knob
+   sweeps share one baseline simulation.
+3. **Execute** -- each scenario runs its remaining work (optimize,
+   partitioned simulation, validation) with the cached pieces injected,
+   and streams one record into the store in scenario order.
+
+Every phase derives all randomness from the scenario content (the
+platform seeds its RNG streams from ``cake.seed``), so a grid produces
+the same store fingerprint for any ``workers`` value.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.cake.metrics import RunMetrics
+from repro.cake.platform import Platform
+from repro.core.method import MethodReport
+from repro.core.profiling import ProfileResult
+from repro.errors import ConfigurationError
+from repro.exp.scenario import Scenario
+from repro.exp.store import SCHEMA_VERSION, ResultStore, ScenarioRecord
+from repro.mem.partition import PartitionMode
+
+__all__ = [
+    "ExperimentRunner",
+    "ScenarioOutcome",
+    "clear_caches",
+    "execute_scenario",
+    "run_scenario",
+]
+
+#: profile_key -> ProfileResult, shared by every runner in this process.
+_PROFILE_CACHE: Dict[str, ProfileResult] = {}
+#: baseline_key -> RunMetrics of the shared-cache run.
+_BASELINE_CACHE: Dict[str, RunMetrics] = {}
+
+
+def clear_caches() -> None:
+    """Drop the process-wide profile and baseline memo tables."""
+    _PROFILE_CACHE.clear()
+    _BASELINE_CACHE.clear()
+
+
+def _compute_profile(scenario: Scenario) -> ProfileResult:
+    """One profiling pass for the scenario's profile key."""
+    return scenario.build_method().profile()
+
+
+def _compute_baseline(scenario: Scenario) -> RunMetrics:
+    """One conventional shared-cache simulation."""
+    return scenario.build_method().simulate(None)
+
+
+# -- record assembly ---------------------------------------------------------
+
+
+def _metrics_payload(metrics: RunMetrics) -> Dict[str, Any]:
+    """Raw counters of one run, in the stable record schema."""
+    return {
+        "accesses": metrics.l2_accesses,
+        "misses": metrics.l2_misses,
+        "miss_rate": metrics.l2_miss_rate,
+        "mean_cpi": metrics.mean_cpi,
+        "instructions": metrics.instructions,
+        "elapsed_cycles": metrics.elapsed_cycles,
+        "cross_evictions": metrics.l2_cross_evictions,
+        "dram_lines": metrics.dram_lines,
+        "misses_by_owner": {
+            owner: stats.misses
+            for owner, stats in sorted(metrics.l2_by_owner.items())
+        },
+    }
+
+
+def _axes_view(scenario: Scenario) -> Dict[str, Any]:
+    """The flat filter/table view stored on every record."""
+    cake = scenario.effective_cake
+    geometry = cake.hierarchy.l2_geometry
+    return {
+        "workload": scenario.workload.name,
+        "mode": scenario.partition_mode.value,
+        "l2_kb": geometry.size_bytes // 1024,
+        "l2_ways": geometry.ways,
+        "n_cpus": cake.n_cpus,
+        "allocation_unit_sets": cake.allocation_unit_sets,
+        "scheduling": cake.scheduling,
+        "solver": scenario.method.solver,
+        "fifo_policy": scenario.method.fifo_policy.value,
+        "sizes": scenario.resolved_sizes,
+        "seed": cake.seed,
+        "tag": scenario.tag,
+    }
+
+
+def _base_record(scenario: Scenario) -> Dict[str, Any]:
+    return {
+        "schema": SCHEMA_VERSION,
+        "scenario_id": scenario.scenario_id,
+        "profile_key": scenario.profile_key if scenario.needs_profile else None,
+        "scenario": scenario.to_dict(),
+        "axes": _axes_view(scenario),
+        "plan": None,
+        "way_assignment": None,
+        "metrics": {"shared": None, "partitioned": None},
+        "compositionality": None,
+        "timing": {"wall_s": 0.0, "created_unix": 0.0},
+    }
+
+
+@dataclass
+class ScenarioOutcome:
+    """A record plus (when the mode produces one) the full report."""
+
+    record: ScenarioRecord
+    report: Optional[MethodReport] = None
+
+
+def execute_scenario(
+    scenario: Scenario,
+    profile: Optional[ProfileResult] = None,
+    baseline: Optional[RunMetrics] = None,
+) -> ScenarioOutcome:
+    """Run one scenario with pre-measured pieces injected.
+
+    ``profile`` (miss curves) and ``baseline`` (the shared-cache run)
+    are computed here when missing; the runner passes memoized ones.
+    """
+    started = time.time()
+    method = scenario.build_method()
+    record = _base_record(scenario)
+    report: Optional[MethodReport] = None
+
+    if baseline is None:
+        baseline = _compute_baseline(scenario)
+    record["metrics"]["shared"] = _metrics_payload(baseline)
+
+    if scenario.partition_mode is PartitionMode.SHARED:
+        pass  # the baseline is the whole experiment
+
+    elif scenario.partition_mode is PartitionMode.SET_PARTITIONED:
+        if profile is None:
+            profile = _compute_profile(scenario)
+        report = method.run(profile=profile, shared_metrics=baseline)
+        record["metrics"]["partitioned"] = _metrics_payload(
+            report.partitioned_metrics
+        )
+        record["plan"] = {
+            "units_by_owner": dict(sorted(report.plan.units_by_owner.items())),
+            "total_units": report.plan.total_units,
+            "predicted_misses": report.plan.predicted_misses,
+        }
+        record["compositionality"] = {
+            "max_relative_difference":
+                report.compositionality.max_relative_difference,
+            "total_simulated": report.compositionality.total_simulated,
+        }
+
+    elif scenario.partition_mode is PartitionMode.WAY_PARTITIONED:
+        if profile is None:
+            profile = _compute_profile(scenario)
+        optimization = method.optimize(profile)
+        plan = optimization.plan
+        ways = scenario.effective_cake.hierarchy.l2_geometry.ways
+        # Column caching can give at most one owner per way; rank the
+        # tasks by the set-optimizer's allocation (units desc, then
+        # name) and give the top `ways` one column each -- the paper's
+        # granularity criticism made executable.
+        ranked = sorted(
+            (owner for owner in plan.units_by_owner if owner.startswith("task:")),
+            key=lambda owner: (-plan.units_of(owner), owner),
+        )
+        assignment = {owner: (i,) for i, owner in enumerate(ranked[:ways])}
+        platform = Platform(
+            scenario.workload.build()(),
+            scenario.effective_cake,
+            mode=PartitionMode.WAY_PARTITIONED,
+        )
+        platform.cache_controller.program_way_partitions(assignment)
+        metrics = platform.run()
+        record["metrics"]["partitioned"] = _metrics_payload(metrics)
+        record["way_assignment"] = {
+            owner: list(ways_) for owner, ways_ in sorted(assignment.items())
+        }
+
+    else:  # pragma: no cover - PartitionMode is closed
+        raise ConfigurationError(
+            f"unsupported partition mode {scenario.partition_mode!r}"
+        )
+
+    record["timing"] = {
+        "wall_s": time.time() - started,
+        "created_unix": started,
+    }
+    return ScenarioOutcome(record=ScenarioRecord(record), report=report)
+
+
+def run_scenario(scenario: Scenario) -> ScenarioOutcome:
+    """Execute one scenario inline, using the process-wide memo tables."""
+    profile = None
+    if scenario.needs_profile:
+        profile = _PROFILE_CACHE.get(scenario.profile_key)
+        if profile is None:
+            profile = _compute_profile(scenario)
+            _PROFILE_CACHE[scenario.profile_key] = profile
+    baseline = _BASELINE_CACHE.get(scenario.baseline_key)
+    if baseline is None:
+        baseline = _compute_baseline(scenario)
+        _BASELINE_CACHE[scenario.baseline_key] = baseline
+    return execute_scenario(scenario, profile=profile, baseline=baseline)
+
+
+# -- process-pool workers ----------------------------------------------------
+
+
+def _profile_worker(args: Tuple[str, Dict[str, Any]]) -> Tuple[str, ProfileResult]:
+    key, payload = args
+    return key, _compute_profile(Scenario.from_dict(payload))
+
+
+def _baseline_worker(args: Tuple[str, Dict[str, Any]]) -> Tuple[str, RunMetrics]:
+    key, payload = args
+    return key, _compute_baseline(Scenario.from_dict(payload))
+
+
+def _execute_worker(
+    args: Tuple[Dict[str, Any], Optional[ProfileResult], Optional[RunMetrics]],
+) -> Dict[str, Any]:
+    payload, profile, baseline = args
+    outcome = execute_scenario(
+        Scenario.from_dict(payload), profile=profile, baseline=baseline
+    )
+    return outcome.record.payload
+
+
+class ExperimentRunner:
+    """Executes scenario lists and streams records into a store.
+
+    ``workers=1`` runs inline (deterministic, easiest to debug);
+    ``workers=N`` fans phases out over a process pool.  Both produce
+    byte-identical stores (modulo timing) because every record is a
+    pure function of its scenario.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        store_path: Optional[str] = None,
+    ):
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.store_path = store_path
+        #: The runner's own store stream: created (truncating any stale
+        #: file) on the first :meth:`run`, then appended to -- repeated
+        #: runs on one runner accumulate records instead of silently
+        #: truncating the JSONL between sweeps.
+        self._store: Optional[ResultStore] = None
+        #: Filled by :meth:`run`: profiling/baseline work accounting.
+        self.last_stats: Dict[str, int] = {}
+
+    def _pool(self) -> ProcessPoolExecutor:
+        # fork (where available) inherits registered custom workloads;
+        # spawn would only see import-time registrations.
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+        return ProcessPoolExecutor(
+            max_workers=self.workers, mp_context=context
+        )
+
+    def run(
+        self,
+        scenarios: Iterable[Scenario],
+        store: Optional[ResultStore] = None,
+    ) -> ResultStore:
+        """Execute every scenario; records stream in scenario order."""
+        scenarios = list(scenarios)
+        if store is None:
+            if self._store is None:
+                self._store = ResultStore(path=self.store_path)
+            store = self._store
+
+        # Phase 1: one profiling pass per unique profile key.
+        profile_scenarios: Dict[str, Scenario] = {}
+        for scenario in scenarios:
+            if scenario.needs_profile:
+                profile_scenarios.setdefault(scenario.profile_key, scenario)
+        missing_profiles = {
+            key: scenario
+            for key, scenario in profile_scenarios.items()
+            if key not in _PROFILE_CACHE
+        }
+
+        # Phase 2: one shared-cache baseline per unique platform.
+        baseline_scenarios: Dict[str, Scenario] = {}
+        for scenario in scenarios:
+            baseline_scenarios.setdefault(scenario.baseline_key, scenario)
+        missing_baselines = {
+            key: scenario
+            for key, scenario in baseline_scenarios.items()
+            if key not in _BASELINE_CACHE
+        }
+
+        self.last_stats = {
+            "scenarios": len(scenarios),
+            "profiles_computed": len(missing_profiles),
+            "profiles_cached": len(profile_scenarios) - len(missing_profiles),
+            "baselines_computed": len(missing_baselines),
+            "baselines_cached":
+                len(baseline_scenarios) - len(missing_baselines),
+        }
+
+        if self.workers > 1 and scenarios:
+            with self._pool() as pool:
+                for key, profile in pool.map(
+                    _profile_worker,
+                    [(k, s.to_dict()) for k, s in missing_profiles.items()],
+                ):
+                    _PROFILE_CACHE[key] = profile
+                for key, metrics in pool.map(
+                    _baseline_worker,
+                    [(k, s.to_dict()) for k, s in missing_baselines.items()],
+                ):
+                    _BASELINE_CACHE[key] = metrics
+                tasks = [
+                    (
+                        scenario.to_dict(),
+                        _PROFILE_CACHE.get(scenario.profile_key)
+                        if scenario.needs_profile else None,
+                        _BASELINE_CACHE[scenario.baseline_key],
+                    )
+                    for scenario in scenarios
+                ]
+                for payload in pool.map(_execute_worker, tasks):
+                    store.append(payload)
+        else:
+            for key, scenario in missing_profiles.items():
+                _PROFILE_CACHE[key] = _compute_profile(scenario)
+            for key, scenario in missing_baselines.items():
+                _BASELINE_CACHE[key] = _compute_baseline(scenario)
+            for scenario in scenarios:
+                outcome = execute_scenario(
+                    scenario,
+                    profile=_PROFILE_CACHE.get(scenario.profile_key)
+                    if scenario.needs_profile else None,
+                    baseline=_BASELINE_CACHE[scenario.baseline_key],
+                )
+                store.append(outcome.record)
+        return store

@@ -1,0 +1,249 @@
+"""The declarative scenario specification.
+
+A :class:`Scenario` is a frozen value object naming everything one
+experiment point needs: which workload (by registry name + kwargs),
+which platform (:class:`~repro.cake.config.CakeConfig`), which method
+knobs (:class:`~repro.core.method.MethodConfig`), which partition mode,
+and which seed.  Because the spec is pure data it serialises to JSON,
+round-trips through the result store, and hashes to two stable keys:
+
+- :attr:`Scenario.scenario_id` -- the identity of the whole experiment
+  point (every field except the presentation ``tag``).
+- :attr:`Scenario.profile_key` -- the identity of the *profiling* work
+  the point needs.  Profiling runs on an enlarged virtual L2 and, in a
+  fully partitioned cache, per-owner miss curves are independent of the
+  total L2 set count, so the key deliberately excludes the L2 set
+  count and the solver: an L2-capacity sweep or a solver comparison
+  profiles exactly once (``tests/test_exp_runner.py`` pins this).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+from repro.cake.config import CakeConfig
+from repro.core.method import CompositionalMethod, MethodConfig
+from repro.exp.workloads import workload_builder
+from repro.kpn.graph import ProcessNetwork
+from repro.mem.bus import BusConfig
+from repro.mem.cache import CacheGeometry
+from repro.mem.hierarchy import HierarchyConfig
+from repro.mem.memory import DramConfig
+from repro.mem.partition import PartitionMode
+
+__all__ = ["Scenario", "WorkloadSpec", "content_hash"]
+
+
+def content_hash(payload: Any, digits: int = 16) -> str:
+    """Stable short hash of a JSON-serialisable payload."""
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:digits]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A workload by registry name plus builder keyword arguments."""
+
+    name: str
+    kwargs: Mapping[str, Any] = field(default_factory=dict)
+
+    def build(self) -> Callable[[], ProcessNetwork]:
+        """The zero-argument network builder this spec names."""
+        return workload_builder(self.name, **dict(self.kwargs))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "kwargs": dict(self.kwargs)}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "WorkloadSpec":
+        return cls(name=payload["name"], kwargs=dict(payload.get("kwargs", {})))
+
+
+def _cake_to_dict(config: CakeConfig) -> Dict[str, Any]:
+    return asdict(config)
+
+
+def _cake_from_dict(payload: Mapping[str, Any]) -> CakeConfig:
+    hierarchy = payload["hierarchy"]
+    return CakeConfig(
+        n_cpus=payload["n_cpus"],
+        hierarchy=HierarchyConfig(
+            l1_geometry=CacheGeometry(**hierarchy["l1_geometry"]),
+            l2_geometry=CacheGeometry(**hierarchy["l2_geometry"]),
+            issue_cpi=hierarchy["issue_cpi"],
+            l2_hit_cycles=hierarchy["l2_hit_cycles"],
+            dram=DramConfig(**hierarchy["dram"]),
+            bus=BusConfig(**hierarchy["bus"]),
+            l2_policy=hierarchy["l2_policy"],
+            engine=hierarchy["engine"],
+        ),
+        switch_cycles=payload["switch_cycles"],
+        quantum_cycles=payload["quantum_cycles"],
+        scheduling=payload["scheduling"],
+        allocation_unit_sets=payload["allocation_unit_sets"],
+        seed=payload["seed"],
+    )
+
+
+def _method_to_dict(config: MethodConfig) -> Dict[str, Any]:
+    return {
+        "sizes": None if config.sizes is None else list(config.sizes),
+        "fifo_policy": config.fifo_policy.value,
+        "solver": config.solver,
+        "profile_repeats": config.profile_repeats,
+    }
+
+
+def _method_from_dict(payload: Mapping[str, Any]) -> MethodConfig:
+    from repro.core.allocation import BufferPolicy
+
+    return MethodConfig(
+        sizes=payload["sizes"],
+        fifo_policy=BufferPolicy(payload["fifo_policy"]),
+        solver=payload["solver"],
+        profile_repeats=payload["profile_repeats"],
+    )
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One experiment point: workload x platform x method x mode x seed."""
+
+    workload: WorkloadSpec
+    cake: CakeConfig = field(default_factory=CakeConfig)
+    method: MethodConfig = field(default_factory=MethodConfig)
+    partition_mode: PartitionMode = PartitionMode.SET_PARTITIONED
+    #: Root seed override; ``None`` keeps ``cake.seed``.
+    seed: Optional[int] = None
+    #: Free-form label for reports; not part of the scenario identity.
+    tag: str = ""
+
+    # -- derived configuration ---------------------------------------------
+
+    @property
+    def effective_cake(self) -> CakeConfig:
+        """The platform config with the scenario seed folded in."""
+        if self.seed is None or self.seed == self.cake.seed:
+            return self.cake
+        return replace(self.cake, seed=self.seed)
+
+    @property
+    def resolved_sizes(self) -> List[int]:
+        """The allocation-size menu, with the default menu materialised.
+
+        ``MethodConfig.sizes=None`` means "powers of two up to a quarter
+        of the allocatable units", which depends on the L2 set count --
+        resolving it here keeps the profile key honest across L2 sizes.
+        """
+        if self.method.sizes is not None:
+            return list(self.method.sizes)
+        sizes: List[int] = []
+        size = 1
+        while size <= self.effective_cake.n_allocation_units // 4:
+            sizes.append(size)
+            size *= 2
+        return sizes
+
+    @property
+    def resolved_method(self) -> MethodConfig:
+        """The method config with the size menu materialised."""
+        if self.method.sizes is not None:
+            return self.method
+        return replace(self.method, sizes=self.resolved_sizes)
+
+    def build_method(self) -> CompositionalMethod:
+        """The single-scenario execution engine for this spec."""
+        return CompositionalMethod(
+            self.workload.build(), self.effective_cake, self.resolved_method
+        )
+
+    # -- serialisation -----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The JSON-serialisable spec (round-trips via from_dict)."""
+        return {
+            "workload": self.workload.to_dict(),
+            "cake": _cake_to_dict(self.effective_cake),
+            "method": _method_to_dict(self.method),
+            "partition_mode": self.partition_mode.value,
+            "tag": self.tag,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Scenario":
+        return cls(
+            workload=WorkloadSpec.from_dict(payload["workload"]),
+            cake=_cake_from_dict(payload["cake"]),
+            method=_method_from_dict(payload["method"]),
+            partition_mode=PartitionMode(payload["partition_mode"]),
+            tag=payload.get("tag", ""),
+        )
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def scenario_id(self) -> str:
+        """Content hash of the spec (minus the presentation tag)."""
+        payload = self.to_dict()
+        payload.pop("tag")
+        return content_hash(payload)
+
+    @property
+    def needs_profile(self) -> bool:
+        """Whether executing this scenario requires miss curves."""
+        return self.partition_mode is not PartitionMode.SHARED
+
+    @property
+    def profile_key(self) -> str:
+        """Content hash of the profiling work this scenario needs.
+
+        Excludes the L2 set count (profiling uses a virtual L2; curves
+        are set-count independent in a fully partitioned cache) and the
+        solver (profiling happens before optimization), so capacity
+        sweeps and solver comparisons share one profiling pass.
+        """
+        cake = _cake_to_dict(self.effective_cake)
+        cake["hierarchy"]["l2_geometry"].pop("sets")
+        return content_hash({
+            "workload": self.workload.to_dict(),
+            "cake": cake,
+            "sizes": self.resolved_sizes,
+            "fifo_policy": self.method.fifo_policy.value,
+            "profile_repeats": self.method.profile_repeats,
+        })
+
+    @property
+    def baseline_key(self) -> str:
+        """Content hash of the shared-cache baseline run it needs."""
+        return content_hash({
+            "workload": self.workload.to_dict(),
+            "cake": _cake_to_dict(self.effective_cake),
+        })
+
+    # -- convenience -------------------------------------------------------
+
+    def with_cake(self, **changes) -> "Scenario":
+        """A copy with platform-config fields replaced."""
+        return replace(self, cake=replace(self.cake, **changes))
+
+    def with_method(self, **changes) -> "Scenario":
+        """A copy with method-config fields replaced."""
+        return replace(self, method=replace(self.method, **changes))
+
+    def describe(self) -> str:
+        """One-line human description."""
+        geometry = self.effective_cake.hierarchy.l2_geometry
+        menu = self.method.sizes
+        return (
+            f"{self.workload.name}"
+            f"[{self.partition_mode.value}]"
+            f" l2={geometry.size_bytes // 1024}KB/{geometry.ways}w"
+            f" cpus={self.effective_cake.n_cpus}"
+            f" solver={self.method.solver}"
+            f" sizes={'auto' if menu is None else list(menu)}"
+            f" seed={self.effective_cake.seed}"
+            + (f" tag={self.tag}" if self.tag else "")
+        )

@@ -1,0 +1,73 @@
+"""Named workload builders.
+
+A :class:`~repro.exp.scenario.Scenario` refers to its application by
+*name* rather than by a bare callable so that scenarios are
+
+- **serializable** -- a scenario spec round-trips through JSON and can
+  be replayed by another process (the parallel runner's workers) or a
+  later session, and
+- **hashable** -- the scenario content hash covers the workload
+  identity and its keyword arguments, not a Python object id.
+
+The registry ships with the paper's two evaluation applications plus
+the synthetic pipeline generator; custom applications register under
+their own name (at module import time, so process-pool workers see
+them too).
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import Callable, Dict, Tuple
+
+from repro.apps.synthetic import make_pipeline
+from repro.apps.workloads import mpeg2_workload, two_jpeg_canny_workload
+from repro.errors import ConfigurationError
+from repro.kpn.graph import ProcessNetwork
+
+__all__ = [
+    "register_workload",
+    "registered_workloads",
+    "workload_builder",
+]
+
+#: name -> builder taking keyword arguments and returning a network.
+_REGISTRY: Dict[str, Callable[..., ProcessNetwork]] = {}
+
+
+def register_workload(
+    name: str,
+    builder: Callable[..., ProcessNetwork],
+    overwrite: bool = False,
+) -> None:
+    """Register ``builder`` under ``name`` for use in scenarios.
+
+    Registration must happen at import time of a module the workers
+    also import (workers inherit the registry via fork, but a spawned
+    interpreter rebuilds it from imports alone).
+    """
+    if not overwrite and name in _REGISTRY:
+        raise ConfigurationError(f"workload {name!r} is already registered")
+    _REGISTRY[name] = builder
+
+
+def registered_workloads() -> Tuple[str, ...]:
+    """Registered workload names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def workload_builder(name: str, **kwargs) -> Callable[[], ProcessNetwork]:
+    """A zero-argument network builder for ``name`` with ``kwargs``."""
+    try:
+        builder = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(registered_workloads()) or "<none>"
+        raise ConfigurationError(
+            f"unknown workload {name!r}; registered: {known}"
+        ) from None
+    return partial(builder, **kwargs)
+
+
+register_workload("two_jpeg_canny", two_jpeg_canny_workload)
+register_workload("mpeg2", mpeg2_workload)
+register_workload("pipeline", make_pipeline)

@@ -169,3 +169,29 @@ def test_config_l2_resizing():
     assert explicit.hierarchy.l2_geometry.sets == 512
     assert config.unit_bytes == 8 * 4 * 64
     assert config.n_allocation_units == 256
+
+
+def test_with_l2_sets_validates_at_construction():
+    config = CakeConfig()
+    with pytest.raises(ConfigurationError):
+        config.with_l2_sets(100)  # not a power of two
+    with pytest.raises(ConfigurationError):
+        config.with_l2_sets(0)
+    with pytest.raises(ConfigurationError):
+        config.with_l2_sets(-512)
+    with pytest.raises(ConfigurationError):
+        # Power of two, but not divisible into 8-set allocation units.
+        config.with_l2_sets(4)
+
+
+def test_with_l2_ways_keeps_capacity():
+    config = CakeConfig()
+    eight_way = config.with_l2_ways(8)
+    assert eight_way.hierarchy.l2_geometry.ways == 8
+    assert eight_way.hierarchy.l2_geometry.size_bytes == \
+        config.hierarchy.l2_geometry.size_bytes
+    assert eight_way.hierarchy.l2_geometry.sets == 1024
+    with pytest.raises(ConfigurationError):
+        config.with_l2_ways(0)
+    with pytest.raises(ConfigurationError):
+        config.with_l2_ways(3)  # 512 KB does not split into 3 ways

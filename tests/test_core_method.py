@@ -174,6 +174,49 @@ def test_method_summary_mentions_key_numbers(method_report):
     assert "L2 miss rate" in text and "compositionality" in text
 
 
+def _report_with_misses(shared_misses, partitioned_misses):
+    """A MethodReport shell with prescribed L2 miss totals."""
+    from repro.cake.metrics import RunMetrics
+    from repro.core import CompositionalityReport, ProfileResult
+    from repro.core.method import MethodReport
+    from repro.mem.cache import OwnerStats
+
+    def metrics(misses):
+        return RunMetrics(l2_by_owner={
+            "task:a": OwnerStats(accesses=max(misses, 1), misses=misses)
+        })
+
+    return MethodReport(
+        app_name="synthetic",
+        profile=ProfileResult(),
+        plan=PartitionPlan(units_by_owner={"task:a": 1}, total_units=4),
+        solution=None,
+        shared_metrics=metrics(shared_misses),
+        partitioned_metrics=metrics(partitioned_misses),
+        compositionality=CompositionalityReport(),
+    )
+
+
+def test_miss_reduction_factor_perfect_run_is_infinite():
+    report = _report_with_misses(shared_misses=100, partitioned_misses=0)
+    assert report.miss_reduction_factor == float("inf")
+    # 0.0 would read as "no reduction"; the summary renders the infinity.
+    assert "∞" in report.summary()
+
+
+def test_miss_reduction_factor_degenerate_and_finite_cases():
+    assert _report_with_misses(0, 0).miss_reduction_factor == 1.0
+    assert _report_with_misses(100, 20).miss_reduction_factor == \
+        pytest.approx(5.0)
+
+
+def test_format_reduction_factor():
+    from repro.core import format_reduction_factor
+
+    assert format_reduction_factor(float("inf")) == "∞"
+    assert format_reduction_factor(5.0) == "5.00x"
+
+
 def test_method_solvers_agree():
     builder = partial(make_pipeline, n_stages=3, n_tokens=8)
     config = small_config()
@@ -183,11 +226,50 @@ def test_method_solvers_agree():
             builder, config, MethodConfig(sizes=[1, 2, 4], solver=solver)
         )
         profile = method.profile()
-        plan = method.optimize(profile)
-        reports[solver] = plan.predicted_misses
+        optimization = method.optimize(profile)
+        # The plan embeds the solver's explicit allocation plus buffers.
+        assert all(
+            optimization.plan.units_by_owner[owner] == units
+            for owner, units in optimization.solution.allocation.items()
+        )
+        reports[solver] = optimization.plan.predicted_misses
     assert reports["dp"] == pytest.approx(reports["milp"])
+
+
+def test_optimize_returns_plan_and_solution_explicitly():
+    method = CompositionalMethod(
+        partial(make_pipeline, n_stages=3, n_tokens=8),
+        small_config(),
+        MethodConfig(sizes=[1, 2]),
+    )
+    optimization = method.optimize(method.profile())
+    assert optimization.plan.predicted_misses == pytest.approx(
+        optimization.solution.total_misses
+    )
+    # The old hidden side-channel is gone.
+    assert not hasattr(method, "_last_solution")
 
 
 def test_method_rejects_unknown_solver():
     with pytest.raises(OptimizationError):
         MethodConfig(solver="oracle")
+
+
+@pytest.mark.parametrize("repeats", [0, -3])
+def test_method_rejects_non_positive_repeats(repeats):
+    with pytest.raises(OptimizationError):
+        MethodConfig(profile_repeats=repeats)
+
+
+@pytest.mark.parametrize(
+    "sizes",
+    [[], [0, 1], [-2, 4], [1, 2, 2], [4, 2, 8], [1.5, 2]],
+)
+def test_method_rejects_bad_sizes_menus(sizes):
+    with pytest.raises(OptimizationError):
+        MethodConfig(sizes=sizes)
+
+
+def test_method_accepts_ascending_sizes():
+    config = MethodConfig(sizes=[1, 3, 9], profile_repeats=2)
+    assert list(config.sizes) == [1, 3, 9]

@@ -1,0 +1,227 @@
+"""Experiment runner: memoization, determinism, partition modes.
+
+The acceptance contract of the sweep layer lives here:
+
+- same grid point twice -> one profiling pass, identical records
+  (modulo timing),
+- a 16-scenario grid run with ``workers=4`` produces a store identical
+  (ignoring timing) to ``workers=1``,
+- profiling executes at most once per unique profile key.
+"""
+
+import pytest
+
+import repro.exp.runner as runner_module
+from repro.cake import CakeConfig
+from repro.core import MethodConfig
+from repro.errors import ConfigurationError
+from repro.exp import (
+    ExperimentRunner,
+    ResultStore,
+    Scenario,
+    WorkloadSpec,
+    clear_caches,
+    run_scenario,
+    sweep,
+)
+from repro.mem.cache import CacheGeometry
+from repro.mem.hierarchy import HierarchyConfig
+from repro.mem.partition import PartitionMode
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    """Each test starts with empty memo tables."""
+    clear_caches()
+    yield
+    clear_caches()
+
+
+@pytest.fixture
+def profile_counter(monkeypatch):
+    """Counts actual profiling passes in this process."""
+    calls = []
+    original = runner_module._compute_profile
+
+    def counting(scenario):
+        calls.append(scenario.profile_key)
+        return original(scenario)
+
+    monkeypatch.setattr(runner_module, "_compute_profile", counting)
+    return calls
+
+
+def small_cake(**kwargs):
+    return CakeConfig(
+        n_cpus=2,
+        hierarchy=HierarchyConfig(
+            l1_geometry=CacheGeometry(sets=16, ways=2, line_size=64),
+            l2_geometry=CacheGeometry(sets=256, ways=4, line_size=64),
+        ),
+        **kwargs,
+    )
+
+
+def base_scenario():
+    return Scenario(
+        workload=WorkloadSpec(
+            "pipeline",
+            {"n_stages": 3, "n_tokens": 6, "work_bytes": 6 * 1024},
+        ),
+        cake=small_cake(),
+        method=MethodConfig(sizes=[1, 2]),
+    )
+
+
+# -- memoization ---------------------------------------------------------------
+
+
+def test_same_grid_point_twice_profiles_once(profile_counter):
+    scenario = base_scenario()
+    runner = ExperimentRunner(workers=1)
+    store = runner.run([scenario, scenario])
+    assert len(store) == 2
+    assert len(profile_counter) == 1
+    assert runner.last_stats["profiles_computed"] == 1
+    # Byte-identical records modulo the timing block.
+    first, second = store.records
+    assert first.canonical() == second.canonical()
+    assert first.to_json_line() != "" and first.scenario_id == second.scenario_id
+
+
+def test_l2_capacity_sweep_profiles_once(profile_counter):
+    scenarios = sweep(base_scenario(), l2_size_kb=[64, 128],
+                      solver=["dp", "greedy"])
+    runner = ExperimentRunner(workers=1)
+    store = runner.run(scenarios)
+    assert len(store) == 4
+    # One profile key covers the whole capacity x solver grid.
+    assert len(profile_counter) == 1
+    assert runner.last_stats == {
+        "scenarios": 4,
+        "profiles_computed": 1, "profiles_cached": 0,
+        "baselines_computed": 2, "baselines_cached": 0,
+    }
+
+
+def test_profile_cache_survives_across_runner_calls(profile_counter):
+    scenario = base_scenario()
+    ExperimentRunner(workers=1).run([scenario])
+    assert len(profile_counter) == 1
+    second = ExperimentRunner(workers=1)
+    second.run([scenario])
+    assert len(profile_counter) == 1  # still one pass, cache hit
+    assert second.last_stats["profiles_cached"] == 1
+    assert second.last_stats["baselines_cached"] == 1
+
+
+def test_run_scenario_uses_the_same_caches(profile_counter):
+    scenario = base_scenario()
+    outcome = run_scenario(scenario)
+    assert outcome.report is not None
+    ExperimentRunner(workers=1).run([scenario])
+    assert len(profile_counter) == 1
+    # The inline record equals the runner's record (modulo timing).
+    store = ExperimentRunner(workers=1).run([scenario])
+    assert outcome.record.canonical() == store.records[0].canonical()
+
+
+def test_repeated_runs_accumulate_in_the_runner_store(tmp_path):
+    path = tmp_path / "sweeps.jsonl"
+    path.write_text('{"stale": true}\n')  # a previous session's leftovers
+    runner = ExperimentRunner(workers=1, store_path=str(path))
+    first = runner.run([base_scenario()])
+    assert len(first) == 1  # stale content truncated on first use
+    second = runner.run(sweep(base_scenario(), solver=["greedy"]))
+    assert second is first and len(second) == 2
+    # Nothing was silently truncated between sweeps.
+    assert len(ResultStore.load(path)) == 2
+
+
+def test_distinct_profiling_inputs_profile_separately(profile_counter):
+    scenarios = sweep(base_scenario(), n_cpus=[1, 2])
+    ExperimentRunner(workers=1).run(scenarios)
+    assert len(profile_counter) == 2
+
+
+# -- determinism ---------------------------------------------------------------
+
+
+def sixteen_scenario_grid():
+    return sweep(
+        base_scenario(),
+        l2_size_kb=[64, 128],
+        n_cpus=[1, 2],
+        solver=["dp", "greedy"],
+        seed=[20050307, 7],
+    )
+
+
+def test_workers_do_not_change_the_store(tmp_path, profile_counter):
+    scenarios = sixteen_scenario_grid()
+    assert len(scenarios) == 16
+
+    serial = ExperimentRunner(
+        workers=1, store_path=str(tmp_path / "serial.jsonl")
+    ).run(scenarios)
+    serial_profiles = len(profile_counter)
+    # 2 cpus x 2 seeds vary profiling inputs; capacity/solver do not.
+    assert serial_profiles == 4
+
+    clear_caches()
+    parallel_runner = ExperimentRunner(
+        workers=4, store_path=str(tmp_path / "parallel.jsonl")
+    )
+    parallel = parallel_runner.run(scenarios)
+    assert parallel_runner.last_stats["profiles_computed"] == 4
+
+    assert serial.fingerprint() == parallel.fingerprint()
+    assert serial.canonical() == parallel.canonical()
+    # And the JSONL files round-trip to the same store.
+    assert ResultStore.load(tmp_path / "serial.jsonl").fingerprint() == \
+        ResultStore.load(tmp_path / "parallel.jsonl").fingerprint()
+
+
+# -- partition modes -----------------------------------------------------------
+
+
+def test_shared_mode_records_baseline_only(profile_counter):
+    from dataclasses import replace
+
+    scenario = replace(base_scenario(), partition_mode=PartitionMode.SHARED)
+    store = ExperimentRunner(workers=1).run([scenario])
+    record = store.records[0]
+    assert record.mode == "shared"
+    assert record.shared is not None
+    assert record.partitioned is None and record.plan is None
+    assert record.profile_key is None
+    assert len(profile_counter) == 0  # no miss curves needed
+    assert record.miss_reduction_factor is None
+
+
+def test_way_mode_assigns_columns_to_top_tasks():
+    from dataclasses import replace
+
+    scenario = replace(
+        base_scenario(), partition_mode=PartitionMode.WAY_PARTITIONED
+    )
+    record = ExperimentRunner(workers=1).run([scenario]).records[0]
+    assignment = record.payload["way_assignment"]
+    ways = scenario.cake.hierarchy.l2_geometry.ways
+    assert assignment and len(assignment) <= ways
+    assert all(owner.startswith("task:") for owner in assignment)
+    assert record.partitioned is not None and record.plan is None
+
+
+def test_set_mode_record_contents():
+    record = ExperimentRunner(workers=1).run([base_scenario()]).records[0]
+    assert record.mode == "set"
+    assert record.partitioned["cross_evictions"] == 0
+    assert record.plan and record.predicted_misses is not None
+    assert record.compositionality_max_rel_diff is not None
+    assert record.payload["axes"]["sizes"] == [1, 2]
+
+
+def test_runner_rejects_bad_worker_count():
+    with pytest.raises(ConfigurationError):
+        ExperimentRunner(workers=0)

@@ -1,0 +1,233 @@
+"""Scenario specs: registry, serialisation, content hashes, grids."""
+
+import pytest
+
+from repro.cake import CakeConfig
+from repro.core import BufferPolicy, MethodConfig
+from repro.errors import ConfigurationError
+from repro.exp import (
+    Grid,
+    Scenario,
+    WorkloadSpec,
+    register_workload,
+    registered_workloads,
+    sweep,
+    workload_builder,
+)
+from repro.mem.cache import CacheGeometry
+from repro.mem.hierarchy import HierarchyConfig
+from repro.mem.partition import PartitionMode
+
+
+def small_cake():
+    return CakeConfig(
+        n_cpus=2,
+        hierarchy=HierarchyConfig(
+            l1_geometry=CacheGeometry(sets=16, ways=2, line_size=64),
+            l2_geometry=CacheGeometry(sets=256, ways=4, line_size=64),
+        ),
+    )
+
+
+def base_scenario(**method_kwargs):
+    return Scenario(
+        workload=WorkloadSpec("pipeline", {"n_stages": 3, "n_tokens": 8}),
+        cake=small_cake(),
+        method=MethodConfig(sizes=[1, 2], **method_kwargs),
+    )
+
+
+# -- workload registry ---------------------------------------------------------
+
+
+def test_builtin_workloads_registered():
+    names = registered_workloads()
+    assert {"two_jpeg_canny", "mpeg2", "pipeline"} <= set(names)
+
+
+def test_workload_builder_applies_kwargs():
+    builder = workload_builder("pipeline", n_stages=4, n_tokens=2)
+    network = builder()
+    assert len(network.tasks) == 4
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(ConfigurationError):
+        workload_builder("frame_interpolator")
+    with pytest.raises(ConfigurationError):
+        WorkloadSpec("frame_interpolator").build()
+
+
+def test_duplicate_registration_rejected():
+    with pytest.raises(ConfigurationError):
+        register_workload("pipeline", lambda: None)
+
+
+# -- scenario identity ---------------------------------------------------------
+
+
+def test_scenario_id_is_stable():
+    assert base_scenario().scenario_id == base_scenario().scenario_id
+    # The hash is content-derived, so it is stable across sessions too;
+    # a change here means every stored scenario_id silently rotted.
+    assert len(base_scenario().scenario_id) == 16
+
+
+def test_scenario_id_covers_every_knob_but_the_tag():
+    from dataclasses import replace
+
+    base = base_scenario()
+    assert replace(base, tag="label").scenario_id == base.scenario_id
+    different = [
+        replace(base, workload=WorkloadSpec("pipeline", {"n_stages": 4})),
+        base.with_method(solver="greedy"),
+        base.with_method(fifo_policy=BufferPolicy.ALL_MISS),
+        base.with_cake(n_cpus=4),
+        replace(base, cake=base.cake.with_l2_size(128 * 1024)),
+        replace(base, partition_mode=PartitionMode.SHARED),
+        replace(base, seed=7),
+    ]
+    ids = {scenario.scenario_id for scenario in different}
+    assert base.scenario_id not in ids
+    assert len(ids) == len(different)
+
+
+def test_scenario_roundtrips_through_dict():
+    base = base_scenario()
+    clone = Scenario.from_dict(base.to_dict())
+    assert clone.scenario_id == base.scenario_id
+    assert clone.profile_key == base.profile_key
+    assert clone.effective_cake == base.effective_cake
+    assert clone.to_dict() == base.to_dict()
+
+
+def test_seed_override_folds_into_cake():
+    from dataclasses import replace
+
+    base = base_scenario()
+    seeded = replace(base, seed=99)
+    assert seeded.effective_cake.seed == 99
+    assert seeded.scenario_id != base.scenario_id
+    # Same seed spelled two ways is the same scenario.
+    explicit = replace(base, cake=replace(base.cake, seed=99))
+    assert explicit.scenario_id == seeded.scenario_id
+
+
+# -- profile key ---------------------------------------------------------------
+
+
+def test_profile_key_shared_across_l2_capacity_and_solver():
+    from dataclasses import replace
+
+    base = base_scenario()
+    assert base.profile_key == \
+        replace(base, cake=base.cake.with_l2_size(128 * 1024)).profile_key
+    assert base.profile_key == base.with_method(solver="milp").profile_key
+    assert base.profile_key == \
+        replace(base, partition_mode=PartitionMode.WAY_PARTITIONED).profile_key
+
+
+def test_profile_key_tracks_profiling_inputs():
+    from dataclasses import replace
+
+    base = base_scenario()
+    assert base.with_method(sizes=[1, 4]).profile_key != base.profile_key
+    assert base.with_method(profile_repeats=2).profile_key != base.profile_key
+    assert base.with_method(
+        fifo_policy=BufferPolicy.ALL_MISS
+    ).profile_key != base.profile_key
+    assert base.with_cake(n_cpus=4).profile_key != base.profile_key
+    assert replace(base, seed=7).profile_key != base.profile_key
+    # Associativity changes unit_bytes, so it must re-profile.
+    assert replace(
+        base, cake=base.cake.with_l2_ways(8)
+    ).profile_key != base.profile_key
+
+
+def test_default_sizes_menu_resolved_per_l2_capacity():
+    from dataclasses import replace
+
+    auto = Scenario(
+        workload=WorkloadSpec("pipeline"), cake=small_cake(),
+        method=MethodConfig(),
+    )
+    assert auto.resolved_sizes == [1, 2, 4, 8]  # 32 units // 4
+    bigger = replace(auto, cake=auto.cake.with_l2_size(128 * 1024))
+    assert bigger.resolved_sizes == [1, 2, 4, 8, 16]
+    # Different resolved menus -> different profiling work.
+    assert auto.profile_key != bigger.profile_key
+
+
+# -- grids ---------------------------------------------------------------------
+
+
+def test_sweep_expands_cartesian_product_in_order():
+    scenarios = sweep(
+        base_scenario(),
+        l2_size_kb=[64, 128],
+        solver=["dp", "greedy"],
+    )
+    assert len(scenarios) == 4
+    sizes = [s.cake.hierarchy.l2_geometry.size_bytes // 1024 for s in scenarios]
+    solvers = [s.method.solver for s in scenarios]
+    assert sizes == [64, 64, 128, 128]  # last axis varies fastest
+    assert solvers == ["dp", "greedy", "dp", "greedy"]
+
+
+def test_grid_points_report_axis_assignments():
+    grid = Grid(base_scenario()).axis("n_cpus", [1, 2]).axis("seed", [1, 2])
+    assert grid.axis_names == ["n_cpus", "seed"]
+    assert len(grid) == 4
+    points = list(grid.points())
+    assert points[0][0] == {"n_cpus": 1, "seed": 1}
+    assert points[-1][0] == {"n_cpus": 2, "seed": 2}
+    assert points[-1][1].effective_cake.n_cpus == 2
+
+
+def test_grid_workload_axis_accepts_names_and_specs():
+    scenarios = sweep(
+        base_scenario(),
+        workload=[
+            "pipeline",
+            ("pipeline", {"n_stages": 5}),
+            WorkloadSpec("mpeg2", {"scale": "test"}),
+        ],
+    )
+    assert [s.workload.name for s in scenarios] == \
+        ["pipeline", "pipeline", "mpeg2"]
+    assert scenarios[1].workload.kwargs == {"n_stages": 5}
+
+
+def test_grid_rejects_unknown_axis_and_empty_values():
+    with pytest.raises(ConfigurationError):
+        sweep(base_scenario(), l3_size=[1])
+    with pytest.raises(ConfigurationError):
+        Grid(base_scenario()).axis("solver", [])
+
+
+def test_grid_custom_axis_apply():
+    from dataclasses import replace
+
+    def double_quantum(scenario, value):
+        return scenario.with_cake(quantum_cycles=value)
+
+    grid = Grid(base_scenario()).axis(
+        "quantum", [10_000, 20_000], apply=double_quantum
+    )
+    scenarios = grid.scenarios()
+    assert [s.cake.quantum_cycles for s in scenarios] == [10_000, 20_000]
+
+
+def test_mode_axis_accepts_enum_and_string():
+    scenarios = sweep(
+        base_scenario(), mode=["shared", PartitionMode.SET_PARTITIONED]
+    )
+    assert scenarios[0].partition_mode is PartitionMode.SHARED
+    assert scenarios[1].partition_mode is PartitionMode.SET_PARTITIONED
+    assert not scenarios[0].needs_profile
+    assert scenarios[1].needs_profile
+
+
+def test_describe_mentions_the_key_axes():
+    text = base_scenario().describe()
+    assert "pipeline" in text and "l2=64KB" in text and "solver=dp" in text

@@ -1,0 +1,158 @@
+"""Result store: schema round-trip, queries, fingerprints, reports."""
+
+import json
+
+import pytest
+
+from repro.analysis import report_from_store
+from repro.cake import CakeConfig
+from repro.core import MethodConfig
+from repro.errors import ConfigurationError
+from repro.exp import ResultStore, Scenario, ScenarioRecord, WorkloadSpec
+from repro.exp.runner import _base_record
+from repro.mem.cache import CacheGeometry
+from repro.mem.hierarchy import HierarchyConfig
+
+
+def make_record(solver="dp", shared_misses=100, part_misses=20, tag=""):
+    """A synthetic record in the stable schema (no simulation needed)."""
+    scenario = Scenario(
+        workload=WorkloadSpec("pipeline", {"n_stages": 3}),
+        cake=CakeConfig(
+            n_cpus=2,
+            hierarchy=HierarchyConfig(
+                l1_geometry=CacheGeometry(sets=16, ways=2, line_size=64),
+                l2_geometry=CacheGeometry(sets=256, ways=4, line_size=64),
+            ),
+        ),
+        method=MethodConfig(sizes=[1, 2], solver=solver),
+        tag=tag,
+    )
+    payload = _base_record(scenario)
+    payload["metrics"]["shared"] = {
+        "accesses": 1000, "misses": shared_misses,
+        "miss_rate": shared_misses / 1000, "mean_cpi": 1.4,
+        "instructions": 5000, "elapsed_cycles": 9000.0,
+        "cross_evictions": 42, "dram_lines": 200,
+        "misses_by_owner": {"task:stage0": shared_misses},
+    }
+    payload["metrics"]["partitioned"] = {
+        "accesses": 1000, "misses": part_misses,
+        "miss_rate": part_misses / 1000, "mean_cpi": 1.1,
+        "instructions": 5000, "elapsed_cycles": 8000.0,
+        "cross_evictions": 0, "dram_lines": 60,
+        "misses_by_owner": {"task:stage0": part_misses},
+    }
+    payload["plan"] = {
+        "units_by_owner": {"task:stage0": 4}, "total_units": 32,
+        "predicted_misses": float(part_misses),
+    }
+    payload["compositionality"] = {
+        "max_relative_difference": 0.01, "total_simulated": part_misses,
+    }
+    payload["timing"] = {"wall_s": 1.5, "created_unix": 1_000_000.0}
+    return payload
+
+
+def test_store_appends_and_streams_jsonl(tmp_path):
+    path = tmp_path / "results.jsonl"
+    store = ResultStore(path=path)
+    store.append(make_record(solver="dp"))
+    store.append(make_record(solver="greedy"))
+    lines = path.read_text().splitlines()
+    assert len(lines) == 2  # records stream as they arrive
+    assert json.loads(lines[0])["schema"] == 1
+
+
+def test_store_roundtrips_through_load(tmp_path):
+    path = tmp_path / "results.jsonl"
+    store = ResultStore(path=path)
+    store.append(make_record(solver="dp"))
+    store.append(make_record(solver="greedy", part_misses=10))
+    loaded = ResultStore.load(path)
+    assert len(loaded) == 2
+    assert loaded.canonical() == store.canonical()
+    assert loaded.fingerprint() == store.fingerprint()
+    assert [r.payload for r in loaded] == [r.payload for r in store]
+
+
+def test_store_append_mode_extends_existing_file(tmp_path):
+    path = tmp_path / "results.jsonl"
+    ResultStore(path=path).append(make_record())
+    appended = ResultStore(path=path, append=True)
+    assert len(appended) == 1
+    appended.append(make_record(solver="greedy"))
+    assert len(ResultStore.load(path)) == 2
+    # Default (no append) truncates.
+    fresh = ResultStore(path=path)
+    assert len(fresh) == 0 and path.read_text() == ""
+
+
+def test_fingerprint_ignores_timing_only(tmp_path):
+    a, b = make_record(), make_record()
+    b["timing"] = {"wall_s": 99.0, "created_unix": 2_000_000.0}
+    store_a, store_b = ResultStore(), ResultStore()
+    store_a.append(a)
+    store_b.append(b)
+    assert store_a.fingerprint() == store_b.fingerprint()
+    c = make_record(part_misses=21)
+    store_c = ResultStore()
+    store_c.append(c)
+    assert store_c.fingerprint() != store_a.fingerprint()
+
+
+def test_record_rejects_unknown_schema():
+    payload = make_record()
+    payload["schema"] = 99
+    with pytest.raises(ConfigurationError):
+        ScenarioRecord(payload)
+
+
+def test_record_derived_metrics():
+    record = ScenarioRecord(make_record(shared_misses=100, part_misses=20))
+    assert record.miss_reduction_factor == pytest.approx(5.0)
+    assert record.cpi_improvement == pytest.approx((1.4 - 1.1) / 1.4)
+    assert record.shared_miss_rate == pytest.approx(0.1)
+    assert record.plan == {"task:stage0": 4}
+    perfect = ScenarioRecord(make_record(part_misses=0))
+    assert perfect.miss_reduction_factor == float("inf")
+
+
+def test_record_scenario_roundtrip():
+    record = ScenarioRecord(make_record(solver="greedy"))
+    scenario = record.scenario
+    assert scenario.method.solver == "greedy"
+    assert scenario.scenario_id == record.scenario_id
+
+
+def test_filter_by_axes_and_predicate():
+    store = ResultStore()
+    store.append(make_record(solver="dp"))
+    store.append(make_record(solver="greedy"))
+    store.append(make_record(solver="greedy", part_misses=50))
+    assert len(store.filter(solver="dp")) == 1
+    assert len(store.filter(solver="greedy")) == 2
+    assert len(store.filter(solver="milp")) == 0
+    good = store.filter(lambda r: r.miss_reduction_factor > 3)
+    assert len(good) == 2
+
+
+def test_to_table_default_and_custom_columns():
+    store = ResultStore()
+    store.append(make_record())
+    header, rows = store.to_table()
+    assert "workload" in header and "miss_reduction_factor" in header
+    assert len(rows) == 1
+    header, rows = store.to_table(("solver", "partitioned_misses"))
+    assert rows == [["dp", 20]]
+
+
+def test_report_from_store_renders_axes_and_metrics():
+    store = ResultStore()
+    store.append(make_record(solver="dp"))
+    store.append(make_record(solver="greedy", part_misses=0))
+    text = report_from_store(store, title="unit sweep")
+    assert "unit sweep (2 scenarios)" in text
+    assert "dp" in text and "greedy" in text
+    assert "∞" in text  # the perfect record renders as infinity
+    assert "worst compositionality" in text
