@@ -20,7 +20,7 @@ session result store.
 from dataclasses import replace
 from functools import partial
 
-from conftest import APP1_SCENARIO, write_artifact
+from conftest import APP1_SCENARIO, PROFILE_CACHE, write_artifact
 
 from repro.apps.synthetic import make_pipeline
 from repro.cake import CakeConfig, Platform
@@ -49,7 +49,7 @@ def test_ablation_fifo_policy(benchmark, experiment_store):
     )
 
     store = benchmark.pedantic(
-        ExperimentRunner(workers=1).run,
+        ExperimentRunner(workers=1, cache=PROFILE_CACHE).run,
         args=(scenarios,), kwargs={"store": experiment_store},
         rounds=1, iterations=1,
     )
@@ -82,7 +82,8 @@ def test_ablation_way_partitioning(benchmark, app1_report, experiment_store):
         tag="ablation-way",
     )
     outcome = benchmark.pedantic(
-        run_scenario, args=(scenario,), rounds=1, iterations=1
+        run_scenario, args=(scenario,),
+        kwargs={"cache": PROFILE_CACHE}, rounds=1, iterations=1
     )
     record = experiment_store.append(outcome.record)
     artifact = "\n".join([
@@ -138,7 +139,7 @@ def test_ablation_granularity(benchmark, experiment_store):
         "allocation_unit_sets", [4, 8, 16], apply=granularity
     ).scenarios()
     store = benchmark.pedantic(
-        ExperimentRunner(workers=1).run,
+        ExperimentRunner(workers=1, cache=PROFILE_CACHE).run,
         args=(scenarios,), kwargs={"store": experiment_store},
         rounds=1, iterations=1,
     )
@@ -172,7 +173,8 @@ def test_ablation_scheduling(benchmark, app1_report, experiment_store):
         tag="ablation-scheduling",
     )
     outcome = benchmark.pedantic(
-        run_scenario, args=(scenario,), rounds=1, iterations=1
+        run_scenario, args=(scenario,),
+        kwargs={"cache": PROFILE_CACHE}, rounds=1, iterations=1
     )
     record = experiment_store.append(outcome.record)
     migrate_misses = app1_report.partitioned_metrics.l2_misses
@@ -200,7 +202,7 @@ def test_ablation_solvers(benchmark, experiment_store):
         solver=["dp", "greedy", "milp"],
     )
     store = benchmark.pedantic(
-        ExperimentRunner(workers=1).run,
+        ExperimentRunner(workers=1, cache=PROFILE_CACHE).run,
         args=(scenarios,), kwargs={"store": experiment_store},
         rounds=1, iterations=1,
     )

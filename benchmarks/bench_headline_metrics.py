@@ -11,7 +11,7 @@ variant -- declared as a SHARED-mode scenario of the experiment API
 
 from dataclasses import replace
 
-from conftest import APP2_SCENARIO, write_artifact
+from conftest import APP2_SCENARIO, PROFILE_CACHE, write_artifact
 
 from repro.analysis import headline_report
 from repro.exp import run_scenario
@@ -57,7 +57,8 @@ def test_headline_mpeg2_with_1mb_shared_l2(benchmark, app2_report,
         tag="headline-1mb",
     )
     outcome = benchmark.pedantic(
-        run_scenario, args=(scenario,), rounds=1, iterations=1
+        run_scenario, args=(scenario,),
+        kwargs={"cache": PROFILE_CACHE}, rounds=1, iterations=1
     )
     record = experiment_store.append(outcome.record)
     rate_1mb = record.shared_miss_rate

@@ -9,7 +9,11 @@ loops):
    cache grows (the paper's closing 1 MB data point generalized).
    Every grid point shares one profiling pass: miss curves are
    measured on a virtual L2, so the capacity axis re-profiles nothing.
-2. **Solver x associativity** -- exact DP vs greedy across 4/8-way L2s.
+   The sweep runs against the *persistent* profile cache, so running
+   this example a second time re-profiles nothing at all.
+2. **Solver x associativity** -- exact DP vs greedy across 4/8-way
+   L2s, executed on the asyncio backend (same records, same
+   fingerprints -- backends are interchangeable transports).
 3. **Task-to-processor assignment** -- the §3.1 throughput model
    ``1 / max_k Y(P_k)`` comparing naive round-robin pinning with
    LPT + local-search assignment (analytic, no simulation sweep).
@@ -30,8 +34,10 @@ PIPELINE5 = WorkloadSpec(
 def l2_size_sweep():
     # Each sweep gets its own runner (= its own record stream); the
     # profiling/baseline memo tables are process-wide, so separate
-    # runners still share measurements.
-    runner = ExperimentRunner(workers=2)
+    # runners still share measurements -- and cache=True persists them
+    # on disk ($REPRO_PROFILE_CACHE or ~/.cache/repro/profiles), so
+    # separate *sessions* share them too.
+    runner = ExperimentRunner(workers=2, cache=True)
     scenarios = sweep(
         Scenario(
             workload=PIPELINE5,
@@ -48,12 +54,17 @@ def l2_size_sweep():
                  "miss_reduction_factor"),
     ))
     print(f"profiling passes for {len(scenarios)} scenarios: "
-          f"{runner.last_stats['profiles_computed']} "
-          f"(capacity re-profiles nothing)")
+          f"{runner.last_stats['profiles_computed']} computed, "
+          f"{runner.last_stats['profiles_from_disk']} from "
+          f"{runner.cache.root} (capacity re-profiles nothing; a second "
+          f"run of this example re-profiles nothing at all)")
 
 
 def solver_ways_sweep():
-    runner = ExperimentRunner(workers=2)
+    # Same sweep machinery, different transport: the asyncio backend
+    # runs scenarios concurrently on an event loop and produces the
+    # same records as inline or pool execution would.
+    runner = ExperimentRunner(workers=4, backend="async", cache=True)
     scenarios = sweep(
         Scenario(
             workload=PIPELINE5,

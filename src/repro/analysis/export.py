@@ -33,15 +33,21 @@ _PathLike = Union[str, Path]
 
 
 def profile_to_payload(profile: ProfileResult) -> dict:
-    """The JSON-serialisable form of a profile."""
+    """The JSON-serialisable form of a profile.
+
+    Repeated samples at one size keep their measurement order (sorted
+    by size only, stably), so the round-trip reproduces sample means
+    bit-for-bit -- float summation order matters to the persistent
+    profile cache's identical-payload guarantee.
+    """
     return {
         "sizes": profile.sizes,
         "curves": {
-            owner: sorted(
-                (units, value)
-                for units, values in curve._samples.items()
-                for value in values
-            )
+            owner: [
+                [units, value]
+                for units in curve.sizes
+                for value in curve._samples[units]
+            ]
             for owner, curve in profile.curves.items()
         },
         "accesses": {

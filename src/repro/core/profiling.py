@@ -17,6 +17,7 @@ partitioned cache are independent of the total set count.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -28,7 +29,34 @@ from repro.errors import OptimizationError
 from repro.kpn.graph import ProcessNetwork
 from repro.mem.partition import PartitionMode
 
-__all__ = ["ProfileResult", "profile_miss_curves", "optimized_item_names"]
+__all__ = [
+    "ProfileResult",
+    "optimized_item_names",
+    "profile_miss_curves",
+    "profiling_passes",
+    "reset_profiling_passes",
+]
+
+#: Process-wide count of profiling sweeps executed (one per
+#: :func:`profile_miss_curves` call).  The cache layers promise that a
+#: warm sweep re-profiles *nothing*; this counter is the ground truth
+#: those assertions (smoke gate, differential tests) check against --
+#: memo-table bookkeeping could lie, an unchanged counter cannot.
+#: Locked because the async runner backend profiles on threads.
+_PASS_COUNT = 0
+_PASS_COUNT_LOCK = threading.Lock()
+
+
+def profiling_passes() -> int:
+    """How many profiling sweeps this process has executed."""
+    return _PASS_COUNT
+
+
+def reset_profiling_passes() -> None:
+    """Zero the pass counter (test isolation)."""
+    global _PASS_COUNT
+    with _PASS_COUNT_LOCK:
+        _PASS_COUNT = 0
 
 
 def optimized_item_names(network: ProcessNetwork) -> List[str]:
@@ -88,6 +116,9 @@ def profile_miss_curves(
     runs with different seeds (the paper averages M_i^s over several
     simulations).
     """
+    global _PASS_COUNT
+    with _PASS_COUNT_LOCK:
+        _PASS_COUNT += 1
     if sizes is None:
         sizes = []
         size = 1

@@ -4,18 +4,23 @@ The paper's evaluation -- and every scaling direction on the roadmap --
 is a *sweep*: many (workload, platform, method) points, not one.  This
 package makes that the top-level API:
 
-- :mod:`repro.exp.scenario` -- the frozen :class:`Scenario` spec and
-  its content hashes (scenario identity, profiling identity).
+- :mod:`repro.exp.scenario` -- the frozen :class:`Scenario` spec, its
+  content hashes (scenario identity, profiling identity), and the JSON
+  payload forms of the expensive measurements.
 - :mod:`repro.exp.workloads` -- the named-workload registry scenarios
   refer to (serialisable, pool-safe).
 - :mod:`repro.exp.grid` -- :class:`Grid` / :func:`sweep`, expanding
   axes (L2 size/ways, CPUs, solver, sizes menu, app, seed, ...) into
   deterministic scenario lists.
+- :mod:`repro.exp.cache` -- :class:`ProfileCache`, the persistent
+  content-addressed store of profiling sweeps and baselines (atomic,
+  checksummed, ``python -m repro.exp.cache stats|clear``).
 - :mod:`repro.exp.runner` -- :class:`ExperimentRunner`, executing
-  scenarios inline or on a process pool with memoized profiling and
-  shared baselines, streaming records into a store.
+  scenarios through a pluggable :class:`ExecutionBackend` (inline,
+  process pool, asyncio) with cached profiling and shared baselines,
+  streaming records into a store.
 - :mod:`repro.exp.store` -- :class:`ResultStore`, the append-only JSONL
-  record stream with load/filter/to-table queries.
+  record stream with indexed load/filter/to-table queries.
 
 Typical use::
 
@@ -23,19 +28,33 @@ Typical use::
 
     base = Scenario(workload=WorkloadSpec("mpeg2", {"scale": "paper"}))
     scenarios = sweep(base, l2_size_kb=[256, 512, 1024], solver=["dp"])
-    store = ExperimentRunner(workers=4).run(scenarios)
+    store = ExperimentRunner(workers=4, cache=True).run(scenarios)
     print(store.to_table())
 """
 
+from repro.exp.cache import ProfileCache, default_cache_dir, resolve_cache
 from repro.exp.grid import AXES, Grid, sweep
 from repro.exp.runner import (
+    AsyncBackend,
+    ExecutionBackend,
     ExperimentRunner,
+    InlineBackend,
+    ProcessPoolBackend,
     ScenarioOutcome,
     clear_caches,
     execute_scenario,
+    make_backend,
     run_scenario,
 )
-from repro.exp.scenario import Scenario, WorkloadSpec, content_hash
+from repro.exp.scenario import (
+    Scenario,
+    WorkloadSpec,
+    content_hash,
+    profile_from_payload,
+    profile_to_payload,
+    run_metrics_from_payload,
+    run_metrics_to_payload,
+)
 from repro.exp.store import SCHEMA_VERSION, ResultStore, ScenarioRecord
 from repro.exp.workloads import (
     register_workload,
@@ -45,8 +64,13 @@ from repro.exp.workloads import (
 
 __all__ = [
     "AXES",
+    "AsyncBackend",
+    "ExecutionBackend",
     "ExperimentRunner",
     "Grid",
+    "InlineBackend",
+    "ProcessPoolBackend",
+    "ProfileCache",
     "ResultStore",
     "SCHEMA_VERSION",
     "Scenario",
@@ -55,9 +79,16 @@ __all__ = [
     "WorkloadSpec",
     "clear_caches",
     "content_hash",
+    "default_cache_dir",
     "execute_scenario",
+    "make_backend",
+    "profile_from_payload",
+    "profile_to_payload",
     "register_workload",
     "registered_workloads",
+    "resolve_cache",
+    "run_metrics_from_payload",
+    "run_metrics_to_payload",
     "run_scenario",
     "sweep",
     "workload_builder",

@@ -1,0 +1,8 @@
+"""Entry point for ``python -m repro.exp.cache``."""
+
+import sys
+
+from repro.exp.cache import main
+
+if __name__ == "__main__":
+    sys.exit(main())

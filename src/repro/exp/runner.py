@@ -1,47 +1,82 @@
-"""Executing scenarios: memoized profiling, process pool, result stream.
+"""Executing scenarios: cached profiling, pluggable backends, result stream.
 
 The runner turns scenario lists into :class:`~repro.exp.store.ResultStore`
 records in three phases:
 
 1. **Profile** -- every scenario that needs miss curves maps to a
    :attr:`~repro.exp.scenario.Scenario.profile_key`; each *unique* key
-   is profiled exactly once (in the pool when ``workers > 1``) and
-   cached process-wide, so repeated grid points -- and whole L2-capacity
-   or solver sweeps -- never re-profile.
+   is measured exactly once, memoized process-wide, and (when a
+   :class:`~repro.exp.cache.ProfileCache` is attached) persisted on
+   disk, so repeated grid points, whole L2-capacity or solver sweeps,
+   *and separate sessions* never re-profile.
 2. **Baseline** -- the conventional shared-cache run depends only on
-   (workload, platform); it is memoized the same way, so method-knob
+   (workload, platform); it is cached the same way, so method-knob
    sweeps share one baseline simulation.
 3. **Execute** -- each scenario runs its remaining work (optimize,
    partitioned simulation, validation) with the cached pieces injected,
    and streams one record into the store in scenario order.
 
-Every phase derives all randomness from the scenario content (the
-platform seeds its RNG streams from ``cake.seed``), so a grid produces
-the same store fingerprint for any ``workers`` value.
+Every phase moves work through an :class:`ExecutionBackend` -- the
+transport seam.  A backend maps a module-level worker callable over
+JSON-serialisable task dicts and returns JSON results in task order;
+nothing else crosses the boundary.  Execute tasks carry the *cache
+path and content keys*, not measurement objects: a worker loads the
+profile/baseline it needs from the persistent cache (or from an inline
+JSON payload when no cache is attached), which keeps per-task traffic
+small and makes the protocol transport-agnostic -- a distributed
+backend only needs to move the same JSON.
+
+Three backends ship: :class:`InlineBackend` (serial, easiest to
+debug), :class:`ProcessPoolBackend` (fork pool, CPU parallelism) and
+:class:`AsyncBackend` (asyncio over a thread pool -- the simulation
+core holds no module-global mutable state, so concurrent platforms are
+safe).  Every record is a pure function of its scenario and every
+measurement payload round-trips exactly, so all backends produce the
+same store fingerprint.
 """
 
 from __future__ import annotations
 
+import asyncio
 import multiprocessing
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Union
 
 from repro.cake.metrics import RunMetrics
 from repro.cake.platform import Platform
 from repro.core.method import MethodReport
 from repro.core.profiling import ProfileResult
 from repro.errors import ConfigurationError
-from repro.exp.scenario import Scenario
+from repro.exp.cache import (
+    KIND_BASELINE,
+    KIND_PROFILE,
+    ProfileCache,
+    clear_generation,
+    resolve_cache,
+)
+from repro.exp.scenario import (
+    Scenario,
+    profile_from_payload,
+    profile_to_payload,
+    run_metrics_from_payload,
+    run_metrics_to_payload,
+)
 from repro.exp.store import SCHEMA_VERSION, ResultStore, ScenarioRecord
 from repro.mem.partition import PartitionMode
 
 __all__ = [
+    "AsyncBackend",
+    "ExecutionBackend",
     "ExperimentRunner",
+    "InlineBackend",
+    "ProcessPoolBackend",
     "ScenarioOutcome",
     "clear_caches",
     "execute_scenario",
+    "make_backend",
     "run_scenario",
 ]
 
@@ -49,12 +84,17 @@ __all__ = [
 _PROFILE_CACHE: Dict[str, ProfileResult] = {}
 #: baseline_key -> RunMetrics of the shared-cache run.
 _BASELINE_CACHE: Dict[str, RunMetrics] = {}
+#: (cache root, kind, key) triples this process has verified on disk;
+#: lets steady-state warm runs skip re-reading and re-checksumming
+#: entries that cannot have changed under us.
+_VERIFIED_ON_DISK: set = set()
 
 
 def clear_caches() -> None:
     """Drop the process-wide profile and baseline memo tables."""
     _PROFILE_CACHE.clear()
     _BASELINE_CACHE.clear()
+    _VERIFIED_ON_DISK.clear()
 
 
 def _compute_profile(scenario: Scenario) -> ProfileResult:
@@ -139,7 +179,7 @@ def execute_scenario(
     """Run one scenario with pre-measured pieces injected.
 
     ``profile`` (miss curves) and ``baseline`` (the shared-cache run)
-    are computed here when missing; the runner passes memoized ones.
+    are computed here when missing; the runner passes cached ones.
     """
     started = time.time()
     method = scenario.build_method()
@@ -210,71 +250,260 @@ def execute_scenario(
     return ScenarioOutcome(record=ScenarioRecord(record), report=report)
 
 
-def run_scenario(scenario: Scenario) -> ScenarioOutcome:
-    """Execute one scenario inline, using the process-wide memo tables."""
-    profile = None
-    if scenario.needs_profile:
-        profile = _PROFILE_CACHE.get(scenario.profile_key)
-        if profile is None:
-            profile = _compute_profile(scenario)
-            _PROFILE_CACHE[scenario.profile_key] = profile
-    baseline = _BASELINE_CACHE.get(scenario.baseline_key)
-    if baseline is None:
-        baseline = _compute_baseline(scenario)
-        _BASELINE_CACHE[scenario.baseline_key] = baseline
-    return execute_scenario(scenario, profile=profile, baseline=baseline)
+def run_scenario(
+    scenario: Scenario,
+    cache: Union[None, bool, str, ProfileCache] = None,
+) -> ScenarioOutcome:
+    """Execute one scenario inline, using the process-wide memo tables.
+
+    ``cache`` optionally attaches a persistent
+    :class:`~repro.exp.cache.ProfileCache` (same forms as
+    :class:`ExperimentRunner` accepts): profiling and baseline work is
+    then reused across sessions, not just within this process.
+    """
+    disk = resolve_cache(cache)
+    task = {
+        "profile_key":
+            scenario.profile_key if scenario.needs_profile else None,
+        "baseline_key": scenario.baseline_key,
+    }
+    return execute_scenario(
+        scenario,
+        profile=_resolve_profile(scenario, task, cache=disk),
+        baseline=_resolve_baseline(scenario, task, cache=disk),
+    )
 
 
-# -- process-pool workers ----------------------------------------------------
+# -- the JSON task protocol --------------------------------------------------
+#
+# Workers are module-level callables taking one JSON-serialisable task
+# dict and returning one JSON-serialisable result; they are the whole
+# contract between the runner and a backend.  Measurements travel by
+# *reference* -- a cache directory plus content keys -- with inline
+# payloads only as the fallback when no cache is attached, so the same
+# protocol serves fork pools, threads, and (eventually) remote queues.
 
 
-def _profile_worker(args: Tuple[str, Dict[str, Any]]) -> Tuple[str, ProfileResult]:
-    key, payload = args
-    return key, _compute_profile(Scenario.from_dict(payload))
+def _persist(
+    disk: Optional[ProfileCache],
+    kind: str,
+    key: str,
+    measurement,
+    only_if_absent: bool = False,
+) -> bool:
+    """Best-effort write-through to the disk cache.
+
+    An unwritable or full cache degrades the sweep to uncached
+    computation -- it must never fail it (the read side already treats
+    every problem as a miss).  ``only_if_absent`` backfills entries the
+    in-process memo resolved without touching disk, so a cache attached
+    *after* measurements were memoized still ends up populated.
+    Returns whether the entry is now verifiably on disk.
+    """
+    if disk is None:
+        return False
+    # The clear-generation folds ProfileCache.clear() into the token,
+    # so emptying a cache invalidates every verification memo for it.
+    # (Out-of-band deletion -- rm -rf behind a running process -- is
+    # healed one session later, when the cold memo probes the disk.)
+    token = (str(disk.root), clear_generation(disk.root), kind, key)
+    try:
+        if only_if_absent:
+            if token in _VERIFIED_ON_DISK:
+                return True
+            # Gate on a *valid* entry, not mere file existence: a stale
+            # or corrupt file must not block the backfill forever.
+            if disk.get(kind, key) is not None:
+                _VERIFIED_ON_DISK.add(token)
+                return True
+        if kind == KIND_PROFILE:
+            disk.put_profile(key, measurement)
+        else:
+            disk.put_baseline(key, measurement)
+        _VERIFIED_ON_DISK.add(token)
+        return True
+    except OSError:
+        return False
 
 
-def _baseline_worker(args: Tuple[str, Dict[str, Any]]) -> Tuple[str, RunMetrics]:
-    key, payload = args
-    return key, _compute_baseline(Scenario.from_dict(payload))
+def _measure_task(task: Dict[str, Any]) -> Dict[str, Any]:
+    """One measurement -- ``kind`` picks profile or baseline work.
+
+    Profiling sweeps and baselines are independent, so the runner
+    submits them as one task list and any backend overlaps them.
+    """
+    scenario = Scenario.from_dict(task["scenario"])
+    if task["kind"] == KIND_PROFILE:
+        payload = profile_to_payload(_compute_profile(scenario))
+    else:
+        payload = run_metrics_to_payload(_compute_baseline(scenario))
+    persisted = False
+    if task.get("cache_dir"):
+        try:
+            ProfileCache(task["cache_dir"]).put(
+                task["kind"], task["key"], payload
+            )
+            persisted = True
+        except OSError:
+            pass  # unwritable cache: the result still returns inline
+    return {
+        "kind": task["kind"],
+        "key": task["key"],
+        "payload": payload,
+        # The worker knows its own write outcome; the runner uses it to
+        # decide whether execute tasks can reference this key by cache
+        # path or must carry the payload inline.
+        "persisted": persisted,
+    }
 
 
-def _execute_worker(
-    args: Tuple[Dict[str, Any], Optional[ProfileResult], Optional[RunMetrics]],
-) -> Dict[str, Any]:
-    payload, profile, baseline = args
+def _open_cache(
+    task: Dict[str, Any], cache: Optional[ProfileCache]
+) -> Optional[ProfileCache]:
+    """The cache to resolve through: the caller's instance when given
+    (its traffic counters then see the lookups), else one bound to the
+    task's ``cache_dir``."""
+    if cache is not None:
+        return cache
+    if task.get("cache_dir"):
+        return ProfileCache(task["cache_dir"])
+    return None
+
+
+def _resolve(
+    kind: str,
+    scenario: Scenario,
+    task: Dict[str, Any],
+    cache: Optional[ProfileCache] = None,
+):
+    """One measurement by the memo -> disk -> inline -> compute cascade.
+
+    The single resolution path for both kinds: a memo hit returns
+    immediately (backfilling a late-attached cache unless the runner's
+    planning phase already did, flagged by ``task["persisted"]``), a
+    disk or inline-payload hit is memoized, and a measurement that is
+    nowhere -- lost or damaged between phases -- is recomputed rather
+    than failed, healing the cache for the next reader.
+    """
+    if kind == KIND_PROFILE:
+        key, memo = task["profile_key"], _PROFILE_CACHE
+        decode, compute = profile_from_payload, _compute_profile
+        inline = task.get("profile")
+    else:
+        key, memo = task["baseline_key"], _BASELINE_CACHE
+        decode, compute = run_metrics_from_payload, _compute_baseline
+        inline = task.get("baseline")
+    disk = _open_cache(task, cache)
+    value = memo.get(key)
+    if value is not None:
+        if not task.get("persisted"):
+            _persist(disk, kind, key, value, only_if_absent=True)
+        return value
+    if disk is not None:
+        value = (
+            disk.get_profile(key) if kind == KIND_PROFILE
+            else disk.get_baseline(key)
+        )
+    if value is None and inline is not None:
+        value = decode(inline)
+        _persist(disk, kind, key, value, only_if_absent=True)
+    if value is None:
+        value = compute(scenario)
+        _persist(disk, kind, key, value)
+    memo[key] = value
+    return value
+
+
+def _resolve_profile(
+    scenario: Scenario,
+    task: Dict[str, Any],
+    cache: Optional[ProfileCache] = None,
+) -> Optional[ProfileResult]:
+    """The task's miss curves (None when the mode needs no profiling)."""
+    if not scenario.needs_profile:
+        return None
+    return _resolve(KIND_PROFILE, scenario, task, cache)
+
+
+def _resolve_baseline(
+    scenario: Scenario,
+    task: Dict[str, Any],
+    cache: Optional[ProfileCache] = None,
+) -> RunMetrics:
+    """The task's shared-cache run."""
+    return _resolve(KIND_BASELINE, scenario, task, cache)
+
+
+def _execute_task(task: Dict[str, Any]) -> Dict[str, Any]:
+    """Execute one scenario task; returns the record payload."""
+    scenario = Scenario.from_dict(task["scenario"])
     outcome = execute_scenario(
-        Scenario.from_dict(payload), profile=profile, baseline=baseline
+        scenario,
+        profile=_resolve_profile(scenario, task),
+        baseline=_resolve_baseline(scenario, task),
     )
     return outcome.record.payload
 
 
-class ExperimentRunner:
-    """Executes scenario lists and streams records into a store.
+# -- execution backends ------------------------------------------------------
 
-    ``workers=1`` runs inline (deterministic, easiest to debug);
-    ``workers=N`` fans phases out over a process pool.  Both produce
-    byte-identical stores (modulo timing) because every record is a
-    pure function of its scenario.
+
+class ExecutionBackend:
+    """Transport seam: ordered map of JSON tasks through a worker.
+
+    ``map(worker, tasks)`` applies a module-level callable to each
+    JSON-serialisable task dict and yields JSON results *in task
+    order*.  Implementations choose where the calls run (this thread, a
+    fork pool, an event loop, a remote fleet); they must not reorder
+    results or require anything beyond JSON to cross the boundary.
     """
 
-    def __init__(
+    name = "base"
+    #: Whether workers see this process's memo tables (threads do,
+    #: separate processes and remote transports do not).  When False
+    #: and no disk cache is attached, execute tasks carry their
+    #: measurements as inline JSON payloads.
+    shares_memory = False
+
+    def map(
         self,
-        workers: int = 1,
-        store_path: Optional[str] = None,
-    ):
+        worker,
+        tasks: Sequence[Dict[str, Any]],
+    ) -> Iterator[Dict[str, Any]]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__}>"
+
+
+class InlineBackend(ExecutionBackend):
+    """Runs every task serially in the calling thread."""
+
+    name = "inline"
+    shares_memory = True
+
+    def map(self, worker, tasks):
+        for task in tasks:
+            yield worker(task)
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Runs tasks on a process pool (fork where available).
+
+    The pool is created per :meth:`map` call, after the previous phase
+    finished -- with fork, workers therefore inherit the parent's memo
+    tables as of that moment, and execute workers usually resolve their
+    measurements without touching the disk cache at all.
+    """
+
+    name = "process-pool"
+
+    def __init__(self, workers: int):
         if workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
         self.workers = workers
-        self.store_path = store_path
-        #: The runner's own store stream: created (truncating any stale
-        #: file) on the first :meth:`run`, then appended to -- repeated
-        #: runs on one runner accumulate records instead of silently
-        #: truncating the JSONL between sweeps.
-        self._store: Optional[ResultStore] = None
-        #: Filled by :meth:`run`: profiling/baseline work accounting.
-        self.last_stats: Dict[str, int] = {}
 
-    def _pool(self) -> ProcessPoolExecutor:
+    def _make_pool(self) -> ProcessPoolExecutor:
         # fork (where available) inherits registered custom workloads;
         # spawn would only see import-time registrations.
         methods = multiprocessing.get_all_start_methods()
@@ -284,6 +513,202 @@ class ExperimentRunner:
         return ProcessPoolExecutor(
             max_workers=self.workers, mp_context=context
         )
+
+    def map(self, worker, tasks):
+        tasks = list(tasks)
+        if not tasks:
+            return
+        with self._make_pool() as pool:
+            yield from pool.map(worker, tasks)
+
+    def __repr__(self) -> str:
+        return f"<ProcessPoolBackend workers={self.workers}>"
+
+
+class AsyncBackend(ExecutionBackend):
+    """Runs tasks concurrently on an asyncio event loop.
+
+    Each task executes in a thread-pool executor with at most
+    ``concurrency`` in flight, and results *stream* in task order --
+    each yields as soon as it and its predecessors finish, so a
+    crashed sweep keeps every record that completed before the crash,
+    exactly like the lazy inline/pool backends.  The loop runs on a
+    private host thread, so the backend also works when the caller
+    already has an event loop running (notebooks, coroutine-driven
+    apps).  The simulation core keeps all state per-platform (even the
+    C walker passes its whole state per call), so concurrent scenarios
+    do not interact -- and because records are pure functions of their
+    scenarios, the fingerprint matches the serial one.  This is the
+    asyncio face of the transport seam: a remote/queue backend can
+    replace ``run_in_executor`` with a network await and keep the rest.
+    """
+
+    name = "async"
+    shares_memory = True
+
+    def __init__(self, concurrency: int = 4):
+        if concurrency < 1:
+            raise ConfigurationError(
+                f"concurrency must be >= 1, got {concurrency}"
+            )
+        self.concurrency = concurrency
+
+    def map(self, worker, tasks):
+        tasks = list(tasks)
+        if not tasks:
+            return iter(())
+
+        def stream():
+            # Everything -- loop thread, task submission -- starts on
+            # first iteration, so an unconsumed map() does no work,
+            # matching the lazy inline/pool backends.
+            loop = asyncio.new_event_loop()
+            host = threading.Thread(
+                target=loop.run_forever, name="async-backend-loop",
+                daemon=True,
+            )
+            host.start()
+            gate = asyncio.Semaphore(self.concurrency)
+
+            async def one(task: Dict[str, Any]) -> Dict[str, Any]:
+                async with gate:
+                    return await asyncio.get_running_loop().run_in_executor(
+                        None, worker, task
+                    )
+
+            futures = [
+                asyncio.run_coroutine_threadsafe(one(task), loop)
+                for task in tasks
+            ]
+            try:
+                for future in futures:
+                    yield future.result()
+            finally:
+                # On failure (or abandonment): cancel what has not
+                # started, drain what has, then retire the loop -- no
+                # pending-task warnings, no leaked threads.
+                for future in futures:
+                    future.cancel()
+                for future in futures:
+                    try:
+                        future.result()
+                    except BaseException:
+                        pass
+                # Executor shutdown must run *on* the host loop: the
+                # calling thread may itself be inside a running loop.
+                asyncio.run_coroutine_threadsafe(
+                    loop.shutdown_default_executor(), loop
+                ).result()
+                loop.call_soon_threadsafe(loop.stop)
+                host.join()
+                loop.close()
+
+        return stream()
+
+    def __repr__(self) -> str:
+        return f"<AsyncBackend concurrency={self.concurrency}>"
+
+
+def make_backend(
+    spec: Union[None, str, ExecutionBackend], workers: int = 1
+) -> ExecutionBackend:
+    """Normalise a user-facing backend argument.
+
+    ``None`` picks inline for ``workers=1`` and a process pool
+    otherwise (the historical behaviour); strings name a backend kind;
+    instances pass through.
+    """
+    if isinstance(spec, ExecutionBackend):
+        return spec
+    if spec is None or spec == "auto":
+        return InlineBackend() if workers == 1 else ProcessPoolBackend(workers)
+    if spec == "inline":
+        return InlineBackend()
+    if spec in ("pool", "process", "process-pool"):
+        return ProcessPoolBackend(workers)
+    if spec == "async":
+        return AsyncBackend(concurrency=workers)
+    raise ConfigurationError(
+        f"unknown backend {spec!r} (known: inline, pool, async, auto)"
+    )
+
+
+class ExperimentRunner:
+    """Executes scenario lists and streams records into a store.
+
+    ``workers=1`` runs inline (deterministic, easiest to debug);
+    ``workers=N`` fans phases out over a process pool; ``backend=``
+    overrides the transport entirely (name or
+    :class:`ExecutionBackend` instance).  All backends produce
+    byte-identical stores (modulo timing) because every record is a
+    pure function of its scenario.
+
+    ``cache=`` attaches a persistent
+    :class:`~repro.exp.cache.ProfileCache`: ``True`` for the default
+    location (``$REPRO_PROFILE_CACHE`` honoured), a path, or an
+    instance.  With a cache, profiling and baseline measurements are
+    reused across sessions and workers receive cache *paths* instead of
+    measurement payloads.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        store_path: Optional[str] = None,
+        backend: Union[None, str, ExecutionBackend] = None,
+        cache: Union[None, bool, str, ProfileCache] = None,
+    ):
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.store_path = store_path
+        self.backend = make_backend(backend, workers)
+        self.cache = resolve_cache(cache)
+        #: The runner's own store stream: created (truncating any stale
+        #: file) on the first :meth:`run`, then appended to -- repeated
+        #: runs on one runner accumulate records instead of silently
+        #: truncating the JSONL between sweeps.
+        self._store: Optional[ResultStore] = None
+        #: Filled by :meth:`run`: profiling/baseline work accounting.
+        self.last_stats: Dict[str, int] = {}
+
+    def _plan(
+        self,
+        kind: str,
+        scenarios_by_key: Dict[str, Scenario],
+        memo: Dict[str, Any],
+        on_disk: set,
+    ):
+        """Resolve keys through memo then disk; return what to compute.
+
+        Memo hits are backfilled to the attached cache (validity-gated,
+        once per key) so a cache attached *after* measurement still gets
+        populated; every key verified on disk lands in ``on_disk``.
+        Returns ``(missing keys -> scenario, disk-hit count)``.
+        """
+        getter = None
+        if self.cache is not None:
+            getter = (
+                self.cache.get_profile if kind == KIND_PROFILE
+                else self.cache.get_baseline
+            )
+        missing: Dict[str, Scenario] = {}
+        from_disk = 0
+        for key, scenario in scenarios_by_key.items():
+            if key in memo:
+                if _persist(self.cache, kind, key, memo[key],
+                            only_if_absent=True):
+                    on_disk.add((kind, key))
+                continue
+            if getter is not None:
+                cached = getter(key)
+                if cached is not None:
+                    memo[key] = cached
+                    from_disk += 1
+                    on_disk.add((kind, key))
+                    continue
+            missing[key] = scenario
+        return missing, from_disk
 
     def run(
         self,
@@ -296,71 +721,104 @@ class ExperimentRunner:
             if self._store is None:
                 self._store = ResultStore(path=self.store_path)
             store = self._store
+        cache_dir = str(self.cache.root) if self.cache is not None else None
 
-        # Phase 1: one profiling pass per unique profile key.
+        # Phases 1+2: resolve each unique profile key / baseline key
+        # through memo then disk; what remains must be measured.
         profile_scenarios: Dict[str, Scenario] = {}
+        baseline_scenarios: Dict[str, Scenario] = {}
         for scenario in scenarios:
             if scenario.needs_profile:
                 profile_scenarios.setdefault(scenario.profile_key, scenario)
-        missing_profiles = {
-            key: scenario
-            for key, scenario in profile_scenarios.items()
-            if key not in _PROFILE_CACHE
-        }
-
-        # Phase 2: one shared-cache baseline per unique platform.
-        baseline_scenarios: Dict[str, Scenario] = {}
-        for scenario in scenarios:
             baseline_scenarios.setdefault(scenario.baseline_key, scenario)
-        missing_baselines = {
-            key: scenario
-            for key, scenario in baseline_scenarios.items()
-            if key not in _BASELINE_CACHE
-        }
+        on_disk: set = set()
+        missing_profiles, profiles_from_disk = self._plan(
+            KIND_PROFILE, profile_scenarios, _PROFILE_CACHE, on_disk
+        )
+        missing_baselines, baselines_from_disk = self._plan(
+            KIND_BASELINE, baseline_scenarios, _BASELINE_CACHE, on_disk
+        )
 
         self.last_stats = {
             "scenarios": len(scenarios),
             "profiles_computed": len(missing_profiles),
-            "profiles_cached": len(profile_scenarios) - len(missing_profiles),
+            "profiles_cached":
+                len(profile_scenarios) - len(missing_profiles)
+                - profiles_from_disk,
+            "profiles_from_disk": profiles_from_disk,
             "baselines_computed": len(missing_baselines),
             "baselines_cached":
-                len(baseline_scenarios) - len(missing_baselines),
+                len(baseline_scenarios) - len(missing_baselines)
+                - baselines_from_disk,
+            "baselines_from_disk": baselines_from_disk,
         }
 
-        if self.workers > 1 and scenarios:
-            with self._pool() as pool:
-                for key, profile in pool.map(
-                    _profile_worker,
-                    [(k, s.to_dict()) for k, s in missing_profiles.items()],
-                ):
-                    _PROFILE_CACHE[key] = profile
-                for key, metrics in pool.map(
-                    _baseline_worker,
-                    [(k, s.to_dict()) for k, s in missing_baselines.items()],
-                ):
-                    _BASELINE_CACHE[key] = metrics
-                tasks = [
-                    (
-                        scenario.to_dict(),
-                        _PROFILE_CACHE.get(scenario.profile_key)
-                        if scenario.needs_profile else None,
-                        _BASELINE_CACHE[scenario.baseline_key],
-                    )
-                    for scenario in scenarios
-                ]
-                for payload in pool.map(_execute_worker, tasks):
-                    store.append(payload)
-        else:
-            for key, scenario in missing_profiles.items():
-                _PROFILE_CACHE[key] = _compute_profile(scenario)
-            for key, scenario in missing_baselines.items():
-                _BASELINE_CACHE[key] = _compute_baseline(scenario)
-            for scenario in scenarios:
-                outcome = execute_scenario(
-                    scenario,
-                    profile=_PROFILE_CACHE.get(scenario.profile_key)
-                    if scenario.needs_profile else None,
-                    baseline=_BASELINE_CACHE[scenario.baseline_key],
+        # One combined measurement phase: profiles and baselines are
+        # independent, so a parallel backend overlaps them freely
+        # instead of draining one kind before starting the other.
+        backend = self.backend
+        measure_tasks = [
+            {"kind": kind, "key": key, "scenario": scenario.to_dict(),
+             "cache_dir": cache_dir}
+            for kind, missing in (
+                (KIND_PROFILE, missing_profiles),
+                (KIND_BASELINE, missing_baselines),
+            )
+            for key, scenario in missing.items()
+        ]
+        for result in backend.map(_measure_task, measure_tasks):
+            if result["kind"] == KIND_PROFILE:
+                _PROFILE_CACHE[result["key"]] = profile_from_payload(
+                    result["payload"]
                 )
-                store.append(outcome.record)
+            else:
+                _BASELINE_CACHE[result["key"]] = run_metrics_from_payload(
+                    result["payload"]
+                )
+            if result["persisted"]:
+                # The worker's own write outcome: a key that landed on
+                # disk can be referenced by cache path, anything else
+                # must ship inline to non-memory-sharing backends.
+                on_disk.add((result["kind"], result["key"]))
+
+        # Phase 3: execute.  Tasks reference measurements by cache path
+        # + key; inline payloads ride along only for keys a non-shared
+        # backend could not otherwise resolve -- serialized once per
+        # unique key, with every task referencing the same (read-only)
+        # payload object.
+        inline_payloads: Dict[Any, Dict[str, Any]] = {}
+
+        def inline_payload(kind: str, key: str) -> Dict[str, Any]:
+            if (kind, key) not in inline_payloads:
+                inline_payloads[(kind, key)] = (
+                    profile_to_payload(_PROFILE_CACHE[key])
+                    if kind == KIND_PROFILE
+                    else run_metrics_to_payload(_BASELINE_CACHE[key])
+                )
+            return inline_payloads[(kind, key)]
+
+        execute_tasks: List[Dict[str, Any]] = []
+        for scenario in scenarios:
+            task: Dict[str, Any] = {
+                "scenario": scenario.to_dict(),
+                "profile_key":
+                    scenario.profile_key if scenario.needs_profile else None,
+                "baseline_key": scenario.baseline_key,
+                "cache_dir": cache_dir,
+                # Persistence was handled once per key in _plan; workers
+                # must not re-verify it per task.
+                "persisted": self.cache is not None,
+            }
+            if not backend.shares_memory:
+                profile_key = task["profile_key"]
+                if profile_key is not None and \
+                        (KIND_PROFILE, profile_key) not in on_disk:
+                    task["profile"] = inline_payload(KIND_PROFILE, profile_key)
+                if (KIND_BASELINE, task["baseline_key"]) not in on_disk:
+                    task["baseline"] = inline_payload(
+                        KIND_BASELINE, task["baseline_key"]
+                    )
+            execute_tasks.append(task)
+        for payload in backend.map(_execute_task, execute_tasks):
+            store.append(payload)
         return store

@@ -24,17 +24,28 @@ import json
 from dataclasses import asdict, dataclass, field, replace
 from typing import Any, Callable, Dict, List, Mapping, Optional
 
+from repro.analysis.export import profile_from_payload, profile_to_payload
 from repro.cake.config import CakeConfig
+from repro.cake.metrics import CpuMetrics, RunMetrics
 from repro.core.method import CompositionalMethod, MethodConfig
 from repro.exp.workloads import workload_builder
 from repro.kpn.graph import ProcessNetwork
 from repro.mem.bus import BusConfig
-from repro.mem.cache import CacheGeometry
+from repro.mem.cache import CacheGeometry, OwnerStats
 from repro.mem.hierarchy import HierarchyConfig
 from repro.mem.memory import DramConfig
 from repro.mem.partition import PartitionMode
+from repro.rtos.task import TaskStats
 
-__all__ = ["Scenario", "WorkloadSpec", "content_hash"]
+__all__ = [
+    "Scenario",
+    "WorkloadSpec",
+    "content_hash",
+    "profile_from_payload",
+    "profile_to_payload",
+    "run_metrics_from_payload",
+    "run_metrics_to_payload",
+]
 
 
 def content_hash(payload: Any, digits: int = 16) -> str:
@@ -105,6 +116,53 @@ def _method_from_dict(payload: Mapping[str, Any]) -> MethodConfig:
         fifo_policy=BufferPolicy(payload["fifo_policy"]),
         solver=payload["solver"],
         profile_repeats=payload["profile_repeats"],
+    )
+
+
+# -- measurement payloads ------------------------------------------------------
+#
+# The runner's persistent cache and remote-capable backends move
+# measurements as JSON, not pickles.  ProfileResult payloads come from
+# :mod:`repro.analysis.export` (re-exported above); RunMetrics -- the
+# shared-cache baseline runs -- serialise here.  Both round-trips are
+# *exact* (every sample, in measurement order; every counter), so a
+# record computed from a deserialised measurement is byte-identical to
+# one computed from the in-process original.
+
+
+def run_metrics_to_payload(metrics: RunMetrics) -> Dict[str, Any]:
+    """The JSON-serialisable form of one run's measurements."""
+    return {
+        "cpus": [asdict(cpu) for cpu in metrics.cpus],
+        "l2_by_owner": {
+            owner: asdict(stats)
+            for owner, stats in metrics.l2_by_owner.items()
+        },
+        "task_stats": {
+            name: asdict(stats)
+            for name, stats in metrics.task_stats.items()
+        },
+        "elapsed_cycles": metrics.elapsed_cycles,
+        "l2_cross_evictions": metrics.l2_cross_evictions,
+        "dram_lines": metrics.dram_lines,
+    }
+
+
+def run_metrics_from_payload(payload: Mapping[str, Any]) -> RunMetrics:
+    """Inverse of :func:`run_metrics_to_payload`."""
+    return RunMetrics(
+        cpus=[CpuMetrics(**cpu) for cpu in payload["cpus"]],
+        l2_by_owner={
+            owner: OwnerStats(**stats)
+            for owner, stats in payload["l2_by_owner"].items()
+        },
+        task_stats={
+            name: TaskStats(**stats)
+            for name, stats in payload["task_stats"].items()
+        },
+        elapsed_cycles=payload["elapsed_cycles"],
+        l2_cross_evictions=payload["l2_cross_evictions"],
+        dram_lines=payload["dram_lines"],
     )
 
 

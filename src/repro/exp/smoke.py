@@ -1,26 +1,49 @@
 """CI mini-grid smoke: ``python -m repro.exp.smoke``.
 
-Runs a 2x2 scenario grid (two L2 sizes x two solvers) on the parallel
-runner with ``workers=2`` at test scale, then asserts the experiment
-pipeline's contracts end to end:
+Runs a 2x2 scenario grid (two L2 sizes x two solvers) *twice* against
+a persistent profile cache, then asserts the experiment pipeline's
+contracts end to end:
 
 - the JSONL schema round-trips through :meth:`ResultStore.load`,
 - profiling ran once for the whole grid (the L2 axis and the solver
-  axis share one profile key),
+  axis share one profile key) -- and on the second pass, with the memo
+  tables cleared, ran *zero* times: everything resolves from the
+  on-disk cache, and the store fingerprint is byte-identical,
 - every set-partitioned record removed cross-owner interference.
+
+The cache root honours ``$REPRO_PROFILE_CACHE``; without it a temp
+directory keeps local runs hermetic.  CI points the env var at a
+workspace path and invokes the smoke twice -- the second invocation
+passes ``--expect-warm``, which additionally asserts that the *first*
+pass of that process performed zero profiling passes AND that its
+store fingerprint matches the one the cold invocation recorded next
+to the cache (cross-process identity, not just cross-runner).
 
 Finishes in well under 30 seconds; exits non-zero on any violation.
 """
 
 from __future__ import annotations
 
+import argparse
+import os
 import sys
 import tempfile
 from pathlib import Path
+from typing import List, Optional
 
 from repro.cake import CakeConfig
 from repro.core import MethodConfig
-from repro.exp import ExperimentRunner, ResultStore, Scenario, WorkloadSpec, sweep
+from repro.core.profiling import profiling_passes
+from repro.exp import (
+    ExperimentRunner,
+    ProfileCache,
+    ResultStore,
+    Scenario,
+    WorkloadSpec,
+    clear_caches,
+    sweep,
+)
+from repro.exp.cache import CACHE_ENV_VAR
 from repro.mem.cache import CacheGeometry
 from repro.mem.hierarchy import HierarchyConfig
 
@@ -47,54 +70,148 @@ def build_grid():
     return sweep(base, l2_size_kb=[64, 128], solver=["dp", "greedy"])
 
 
-def main() -> int:
-    scenarios = build_grid()
-    with tempfile.TemporaryDirectory() as tmp:
-        path = Path(tmp) / "smoke.jsonl"
-        runner = ExperimentRunner(workers=2, store_path=str(path))
-        store = runner.run(scenarios)
-
-        problems = []
-        if len(store) != 4:
-            problems.append(f"expected 4 records, got {len(store)}")
-        if runner.last_stats["profiles_computed"] != 1:
+def _check_records(store: ResultStore, problems: List[str]) -> None:
+    """The per-record contracts both passes must satisfy."""
+    if len(store) != 4:
+        problems.append(f"expected 4 records, got {len(store)}")
+    for record in store:
+        if record.partitioned["cross_evictions"] != 0:
             problems.append(
-                f"expected exactly 1 profiling pass for the grid, got "
-                f"{runner.last_stats['profiles_computed']}"
+                f"{record.scenario_id}: set partitioning left "
+                f"{record.partitioned['cross_evictions']} cross-evictions"
             )
-        loaded = ResultStore.load(path)
-        if loaded.fingerprint() != store.fingerprint():
-            problems.append("JSONL round-trip changed the store fingerprint")
-        if loaded.canonical() != store.canonical():
-            problems.append("JSONL round-trip changed record contents")
-        for record in store:
-            if record.partitioned["cross_evictions"] != 0:
-                problems.append(
-                    f"{record.scenario_id}: set partitioning left "
-                    f"{record.partitioned['cross_evictions']} cross-evictions"
-                )
-            if record.miss_reduction_factor < 1.2:
-                problems.append(
-                    f"{record.scenario_id}: no miss reduction "
-                    f"({record.miss_reduction_factor})"
-                )
+        if record.miss_reduction_factor < 1.2:
+            problems.append(
+                f"{record.scenario_id}: no miss reduction "
+                f"({record.miss_reduction_factor})"
+            )
+
+
+def run_smoke(cache_dir: Path, tmp: Path, expect_warm: bool) -> int:
+    scenarios = build_grid()
+    cache = ProfileCache(cache_dir)
+    problems: List[str] = []
+
+    # Pass 1: parallel runner against the (possibly pre-warmed) cache.
+    runner = ExperimentRunner(
+        workers=2, store_path=str(tmp / "smoke.jsonl"), cache=cache
+    )
+    store = runner.run(scenarios)
+    stats = runner.last_stats
+    measured = stats["profiles_computed"] + stats["profiles_from_disk"]
+    if measured != 1:
+        problems.append(
+            f"expected exactly 1 profile for the grid (computed or "
+            f"cached), got {stats}"
+        )
+    if expect_warm and (
+        stats["profiles_computed"] != 0 or stats["baselines_computed"] != 0
+    ):
+        problems.append(
+            f"--expect-warm: first pass still computed "
+            f"{stats['profiles_computed']} profiles / "
+            f"{stats['baselines_computed']} baselines (cache at "
+            f"{cache.root} was cold or partial)"
+        )
+    # Pin the store fingerprint *across processes*: each invocation
+    # records it next to the cache, and --expect-warm compares against
+    # what the cold invocation recorded -- cached measurements must
+    # reproduce the cold run's records bit for bit.
+    marker = cache_dir / "smoke.fingerprint"
+    if expect_warm:
+        if not marker.exists():
+            problems.append(
+                f"--expect-warm: no fingerprint recorded at {marker} "
+                f"(was the cold smoke run against this cache?)"
+            )
+        elif marker.read_text().strip() != store.fingerprint():
+            problems.append(
+                f"cross-process fingerprint drift: cold run recorded "
+                f"{marker.read_text().strip()}, warm cache reproduced "
+                f"{store.fingerprint()}"
+            )
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    marker.write_text(store.fingerprint() + "\n")
+    loaded = ResultStore.load(tmp / "smoke.jsonl")
+    if loaded.fingerprint() != store.fingerprint():
+        problems.append("JSONL round-trip changed the store fingerprint")
+    if loaded.canonical() != store.canonical():
+        problems.append("JSONL round-trip changed record contents")
+    _check_records(store, problems)
+
+    # Pass 2: memo tables cleared, fresh inline runner -- everything
+    # must come from the disk cache, with zero profiling passes.
+    clear_caches()
+    passes_before = profiling_passes()
+    second_runner = ExperimentRunner(
+        workers=1, store_path=str(tmp / "smoke_warm.jsonl"), cache=cache
+    )
+    second = second_runner.run(scenarios)
+    warm_stats = second_runner.last_stats
+    warm_passes = profiling_passes() - passes_before
+    if warm_passes != 0:
+        problems.append(
+            f"warm pass performed {warm_passes} profiling passes "
+            f"(expected 0)"
+        )
+    if warm_stats["profiles_computed"] != 0 or warm_stats["baselines_computed"] != 0:
+        problems.append(f"warm pass recomputed work: {warm_stats}")
+    if warm_stats["profiles_from_disk"] != 1:
+        problems.append(
+            f"warm pass expected 1 profile from disk, got {warm_stats}"
+        )
+    if second.fingerprint() != store.fingerprint():
+        problems.append(
+            "warm-cache fingerprint differs from the cold run "
+            f"({second.fingerprint()} != {store.fingerprint()})"
+        )
 
     header, rows = store.to_table(
         ("l2_kb", "solver", "shared_miss_rate", "partitioned_miss_rate",
          "miss_reduction_factor")
     )
-    print("mini-grid smoke (2x2 scenarios, workers=2)")
+    print("mini-grid smoke (2x2 scenarios, workers=2, then warm re-run)")
     print("  " + " | ".join(header))
     for row in rows:
         print("  " + " | ".join(
             f"{v:.4f}" if isinstance(v, float) else str(v) for v in row
         ))
+    print(
+        f"  cache {cache.root}: "
+        f"profiles computed={stats['profiles_computed']} "
+        f"from_disk={stats['profiles_from_disk']}; warm pass "
+        f"computed={warm_stats['profiles_computed']} "
+        f"from_disk={warm_stats['profiles_from_disk']} "
+        f"(profiling passes: {warm_passes})"
+    )
     if problems:
         for problem in problems:
             print(f"SMOKE FAILURE: {problem}", file=sys.stderr)
         return 1
-    print("smoke ok: schema round-trips, 1 profile pass, interference-free")
+    print(
+        "smoke ok: schema round-trips, 1 profile pass, warm re-run "
+        "re-profiled nothing, fingerprints identical, interference-free"
+    )
     return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.exp.smoke",
+        description="CI mini-grid smoke over the cached sweep pipeline.",
+    )
+    parser.add_argument(
+        "--expect-warm",
+        action="store_true",
+        help="assert the profile cache is already warm (zero profiling "
+        "passes even on the first run of this process)",
+    )
+    args = parser.parse_args(argv)
+
+    env_dir = os.environ.get(CACHE_ENV_VAR)
+    with tempfile.TemporaryDirectory() as tmp:
+        cache_dir = Path(env_dir) if env_dir else Path(tmp) / "cache"
+        return run_smoke(cache_dir, Path(tmp), args.expect_warm)
 
 
 if __name__ == "__main__":

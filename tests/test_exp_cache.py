@@ -1,0 +1,522 @@
+"""The persistent profile cache: differential identity, fault injection.
+
+The contract under test is the one distributed memory systems live by:
+identical keys yield identical payloads no matter where (or when) they
+were computed, and a damaged entry is *always* a recompute, never a
+crash or a changed result.
+
+- **Differential suite** -- warm-cache vs cold-cache vs
+  in-process-memoized runs of a 2x3 grid produce byte-identical store
+  fingerprints, across ``workers=1`` / ``workers=4`` and across
+  separate :class:`ExperimentRunner` instances (cross-session reuse).
+- **Fault injection** -- truncated JSON, checksum mismatch, stale
+  envelope version, and a concurrent-writer race all read as cache
+  misses: the sweep recomputes, the fingerprint is unchanged, and the
+  damaged entry is healed on the way out.
+- **Acceptance gate** -- a repeated ``python -m repro.exp.smoke``
+  against a warm cache performs zero profiling passes (fresh process,
+  so the in-process memo cannot help) and reproduces the cold
+  fingerprint.
+"""
+
+import json
+import multiprocessing
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cake import CakeConfig
+from repro.core import MethodConfig
+from repro.core.profiling import profiling_passes, reset_profiling_passes
+from repro.exp import (
+    ExecutionBackend,
+    ExperimentRunner,
+    ProfileCache,
+    Scenario,
+    WorkloadSpec,
+    clear_caches,
+    resolve_cache,
+    run_scenario,
+    sweep,
+)
+from repro.exp.cache import (
+    CACHE_ENV_VAR,
+    CACHE_VERSION,
+    KIND_BASELINE,
+    KIND_PROFILE,
+    default_cache_dir,
+    main as cache_cli,
+)
+from repro.errors import ConfigurationError
+from repro.mem.cache import CacheGeometry
+from repro.mem.hierarchy import HierarchyConfig
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    """Each test starts with empty memo tables and a zeroed counter."""
+    clear_caches()
+    reset_profiling_passes()
+    yield
+    clear_caches()
+
+
+def small_scenario(**method_kwargs):
+    method_kwargs.setdefault("sizes", [1, 2])
+    return Scenario(
+        workload=WorkloadSpec(
+            "pipeline",
+            {"n_stages": 3, "n_tokens": 6, "work_bytes": 6 * 1024},
+        ),
+        cake=CakeConfig(
+            n_cpus=2,
+            hierarchy=HierarchyConfig(
+                l1_geometry=CacheGeometry(sets=16, ways=2, line_size=64),
+                l2_geometry=CacheGeometry(sets=256, ways=4, line_size=64),
+            ),
+        ),
+        method=MethodConfig(**method_kwargs),
+    )
+
+
+def grid_2x3():
+    """Two L2 capacities x three solvers: exactly one profile key."""
+    return sweep(small_scenario(), l2_size_kb=[64, 128],
+                 solver=["dp", "greedy", "milp"])
+
+
+# -- basic cache behaviour -----------------------------------------------------
+
+
+def test_put_get_round_trip_and_layout(tmp_path):
+    cache = ProfileCache(tmp_path / "cache")
+    payload = {"sizes": [1, 2], "values": [0.5, 0.25]}
+    path = cache.put(KIND_PROFILE, "abcd1234", payload)
+    assert path == tmp_path / "cache" / "profile" / "ab" / "abcd1234.json"
+    assert cache.get(KIND_PROFILE, "abcd1234") == payload
+    assert cache.get(KIND_PROFILE, "feedbeef") is None
+    assert cache.get(KIND_BASELINE, "abcd1234") is None  # kinds are disjoint
+    with pytest.raises(ConfigurationError):
+        cache.get("plan", "abcd1234")
+
+
+def test_stats_and_clear(tmp_path):
+    cache = ProfileCache(tmp_path / "cache")
+    cache.put(KIND_PROFILE, "aa11", {"x": 1})
+    cache.put(KIND_BASELINE, "bb22", {"y": 2})
+    cache.put(KIND_BASELINE, "cc33", {"z": 3})
+    stats = cache.stats()
+    assert stats["entries"] == 3
+    assert stats["kinds"][KIND_PROFILE]["entries"] == 1
+    assert stats["kinds"][KIND_BASELINE]["entries"] == 2
+    assert stats["bytes"] > 0
+    assert cache.clear() == 3
+    assert cache.stats()["entries"] == 0
+    assert cache.clear() == 0  # idempotent on an empty root
+
+
+def test_clear_sweeps_crashed_writer_litter(tmp_path):
+    """A writer SIGKILLed between mkstemp and os.replace leaves a
+    ``.<key>-XXXX.tmp`` file; clear must remove it (and stats must
+    count its bytes) rather than leave the tree growing forever."""
+    cache = ProfileCache(tmp_path / "cache")
+    entry = cache.put(KIND_PROFILE, "aa11", {"x": 1})
+    litter = entry.parent / ".aa11-dead.tmp"
+    litter.write_text('{"half-written')
+    assert cache.stats()["bytes"] > entry.stat().st_size  # litter counted
+    assert cache.clear() == 2  # entry + litter
+    assert not litter.exists()
+    assert not (tmp_path / "cache" / KIND_PROFILE).exists()  # dirs pruned
+
+
+def test_cli_stats_and_clear(tmp_path, capsys):
+    root = tmp_path / "cli-cache"
+    ProfileCache(root).put(KIND_PROFILE, "aa11", {"x": 1})
+    assert cache_cli(["stats", "--dir", str(root)]) == 0
+    out = capsys.readouterr().out
+    assert str(root) in out and "1 entries" in out
+    assert cache_cli(["clear", "--dir", str(root)]) == 0
+    assert "removed 1 entries" in capsys.readouterr().out
+    assert ProfileCache(root).stats()["entries"] == 0
+
+
+def test_default_dir_honours_env_override(tmp_path, monkeypatch):
+    monkeypatch.setenv(CACHE_ENV_VAR, str(tmp_path / "over"))
+    assert default_cache_dir() == tmp_path / "over"
+    assert resolve_cache(True).root == tmp_path / "over"
+    monkeypatch.delenv(CACHE_ENV_VAR)
+    monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+    assert default_cache_dir() == tmp_path / "xdg" / "repro" / "profiles"
+
+
+def test_resolve_cache_forms(tmp_path):
+    assert resolve_cache(None) is None
+    assert resolve_cache(False) is None
+    cache = ProfileCache(tmp_path)
+    assert resolve_cache(cache) is cache
+    assert resolve_cache(str(tmp_path / "p")).root == tmp_path / "p"
+    with pytest.raises(ConfigurationError):
+        resolve_cache(42)
+
+
+# -- differential identity -----------------------------------------------------
+
+
+def test_differential_fingerprints_across_caches_workers_and_runners(tmp_path):
+    """The ISSUE's core differential: six execution regimes, one hash."""
+    scenarios = grid_2x3()
+    cache_dir = tmp_path / "cache"
+    fingerprints = {}
+
+    # (1) in-process memoized, workers=1.
+    memo_runner = ExperimentRunner(workers=1)
+    fingerprints["memo-w1"] = memo_runner.run(scenarios).fingerprint()
+    # (2) a *second* runner instance against the warm memo tables.
+    second_runner = ExperimentRunner(workers=1)
+    fingerprints["memo-second-runner"] = \
+        second_runner.run(scenarios).fingerprint()
+    assert second_runner.last_stats["profiles_computed"] == 0
+    assert second_runner.last_stats["profiles_cached"] == 1
+
+    # (3) in-process memoized, workers=4 (pool).
+    clear_caches()
+    fingerprints["memo-w4"] = \
+        ExperimentRunner(workers=4).run(scenarios).fingerprint()
+
+    # (4) cold disk cache, workers=1.
+    clear_caches()
+    cold = ExperimentRunner(workers=1, cache=cache_dir)
+    fingerprints["disk-cold-w1"] = cold.run(scenarios).fingerprint()
+    assert cold.last_stats["profiles_computed"] == 1
+    assert cold.last_stats["baselines_computed"] == 2
+
+    # (5) warm disk cache, workers=4, fresh runner, cleared memos --
+    # the cross-session shape: nothing in this "session" was measured.
+    clear_caches()
+    warm = ExperimentRunner(workers=4, cache=cache_dir)
+    fingerprints["disk-warm-w4"] = warm.run(scenarios).fingerprint()
+    assert warm.last_stats["profiles_computed"] == 0
+    assert warm.last_stats["profiles_from_disk"] == 1
+    assert warm.last_stats["baselines_computed"] == 0
+    assert warm.last_stats["baselines_from_disk"] == 2
+
+    # (6) warm disk cache, workers=1: provably zero profiling passes.
+    clear_caches()
+    passes_before = profiling_passes()
+    fingerprints["disk-warm-w1"] = ExperimentRunner(
+        workers=1, cache=cache_dir
+    ).run(scenarios).fingerprint()
+    assert profiling_passes() == passes_before
+
+    assert len(set(fingerprints.values())) == 1, fingerprints
+
+
+def test_memo_warm_runner_still_backfills_the_disk_cache(tmp_path):
+    """Attaching a cache *after* the measurements were memoized must
+    still persist them -- the cross-session promise cannot depend on
+    which runner measured first."""
+    scenarios = sweep(small_scenario(), solver=["dp", "greedy"])
+    ExperimentRunner(workers=1).run(scenarios)  # memo only, no disk
+    cache = ProfileCache(tmp_path / "late-cache")
+    ExperimentRunner(workers=1, cache=cache).run(scenarios)
+    assert cache.stats()["entries"] == 2  # 1 profile + 1 baseline
+    # A fresh "session" is now fully warm from disk.
+    clear_caches()
+    warm = ExperimentRunner(workers=1, cache=cache)
+    warm.run(scenarios)
+    assert warm.last_stats["profiles_computed"] == 0
+    assert warm.last_stats["profiles_from_disk"] == 1
+
+
+def test_clear_invalidates_process_verification_memo(tmp_path):
+    """clear() must defeat the runner's verified-on-disk memo: a
+    cached runner after a clear() re-persists even with warm memos."""
+    cache = ProfileCache(tmp_path / "cache")
+    scenarios = sweep(small_scenario(), solver=["dp", "greedy"])
+    ExperimentRunner(workers=1, cache=cache).run(scenarios)
+    assert cache.stats()["entries"] == 2
+    cache.clear()
+    assert cache.stats()["entries"] == 0
+    # Memo tables are still warm; the backfill must notice the clear.
+    ExperimentRunner(workers=1, cache=cache).run(scenarios)
+    assert cache.stats()["entries"] == 2
+
+
+def test_backfill_replaces_a_stale_entry(tmp_path):
+    """An invalid entry occupying the path must not block the
+    memo-to-disk backfill: validity, not file existence, gates it."""
+    scenarios = sweep(small_scenario(), solver=["dp", "greedy"])
+    cache = ProfileCache(tmp_path / "cache")
+    ExperimentRunner(workers=1, cache=cache).run(scenarios)
+    # Make every entry stale (as if measured by an older simulator).
+    for path in _entry_paths(cache.root):
+        envelope = json.loads(path.read_text())
+        envelope["repro_version"] = "0.0.0"
+        path.write_text(json.dumps(envelope))
+    # Memo is still warm; a fresh cached runner must re-persist.
+    fresh = ExperimentRunner(workers=1, cache=cache)
+    fresh.run(scenarios)
+    assert fresh.last_stats["profiles_computed"] == 0  # memo hit
+    clear_caches()
+    warm = ExperimentRunner(workers=1, cache=cache)
+    warm.run(scenarios)
+    assert warm.last_stats["profiles_computed"] == 0
+    assert warm.last_stats["profiles_from_disk"] == 1  # backfill healed it
+
+
+def test_unwritable_cache_degrades_to_uncached_computation(tmp_path):
+    """A cache root that cannot be written (here: an existing regular
+    file) must never fail the sweep -- results are simply uncached."""
+    bogus_root = tmp_path / "not-a-directory"
+    bogus_root.write_text("occupied")
+    scenarios = sweep(small_scenario(), solver=["dp", "greedy"])
+    reference = ExperimentRunner(workers=1).run(scenarios).fingerprint()
+    clear_caches()
+    runner = ExperimentRunner(workers=1, cache=bogus_root)
+    store = runner.run(scenarios)  # must not raise
+    assert store.fingerprint() == reference
+    assert runner.last_stats["profiles_computed"] == 1
+    # run_scenario degrades the same way.
+    clear_caches()
+    outcome = run_scenario(small_scenario(), cache=bogus_root)
+    assert outcome.report is not None
+    assert bogus_root.read_text() == "occupied"  # untouched
+
+
+class _CapturingBackend(ExecutionBackend):
+    """A non-memory-sharing backend that records every task it sees."""
+
+    name = "capturing"
+    shares_memory = False
+
+    def __init__(self):
+        self.tasks = []
+
+    def map(self, worker, tasks):
+        for task in tasks:
+            self.tasks.append(task)
+            yield worker(task)
+
+    def executes(self):
+        return [t for t in self.tasks if "kind" not in t]
+
+
+def test_inline_payloads_ship_only_when_not_verifiably_on_disk(tmp_path):
+    """Workers that cannot see the memo get each measurement by cache
+    reference when it is verifiably on disk, and inline otherwise --
+    including when cache *writes* fail (e.g. unwritable root), so a
+    spawn-style backend never recomputes per scenario."""
+    from repro.exp import make_backend
+
+    scenarios = sweep(small_scenario(), solver=["dp", "greedy"])
+
+    healthy = _CapturingBackend()
+    ExperimentRunner(backend=make_backend(healthy),
+                     cache=tmp_path / "cache").run(scenarios)
+    assert healthy.executes()
+    for task in healthy.executes():
+        assert task["persisted"] and "profile" not in task
+        assert "baseline" not in task  # resolved via cache reference
+
+    clear_caches()
+    bogus = tmp_path / "file"
+    bogus.write_text("occupied")
+    broken = _CapturingBackend()
+    ExperimentRunner(backend=make_backend(broken),
+                     cache=bogus).run(scenarios)
+    for task in broken.executes():
+        assert task["baseline"] is not None  # unpersistable -> inline
+        if task["profile_key"] is not None:
+            assert task["profile"] is not None
+
+    clear_caches()
+    uncached = _CapturingBackend()
+    ExperimentRunner(backend=make_backend(uncached)).run(scenarios)
+    for task in uncached.executes():
+        assert not task["persisted"] and task["baseline"] is not None
+
+
+def test_run_scenario_uses_and_fills_the_disk_cache(tmp_path):
+    cache = ProfileCache(tmp_path / "cache")
+    scenario = small_scenario()
+    cold = run_scenario(scenario, cache=cache)
+    assert cache.stats()["entries"] == 2  # one profile + one baseline
+    clear_caches()
+    passes_before = profiling_passes()
+    warm = run_scenario(scenario, cache=cache)
+    assert profiling_passes() == passes_before
+    assert warm.record.canonical() == cold.record.canonical()
+
+
+# -- fault injection -----------------------------------------------------------
+
+
+def _warm_reference(cache_dir):
+    """Cold-run the small grid through a cache; return its fingerprint."""
+    scenarios = sweep(small_scenario(), solver=["dp", "greedy"])
+    store = ExperimentRunner(workers=1, cache=cache_dir).run(scenarios)
+    clear_caches()
+    return scenarios, store.fingerprint()
+
+
+def _entry_paths(cache_dir):
+    return sorted(Path(cache_dir).glob("*/*/*.json"))
+
+
+def _rerun_fingerprint(scenarios, cache_dir):
+    clear_caches()
+    runner = ExperimentRunner(workers=1, cache=cache_dir)
+    return runner.run(scenarios).fingerprint(), runner
+
+
+def _truncate(path):
+    raw = path.read_text()
+    path.write_text(raw[: len(raw) // 2])  # mid-JSON truncation
+
+
+def _binary_garbage(path):
+    path.write_bytes(b"\xff\xfe\x00garbage")  # not even valid UTF-8
+
+
+@pytest.mark.parametrize(
+    "corrupt", [_truncate, _binary_garbage], ids=["truncated", "non-utf8"]
+)
+def test_truncated_entries_recompute_cleanly(tmp_path, corrupt):
+    cache_dir = tmp_path / "cache"
+    scenarios, reference = _warm_reference(cache_dir)
+    for path in _entry_paths(cache_dir):
+        corrupt(path)
+    fingerprint, runner = _rerun_fingerprint(scenarios, cache_dir)
+    assert fingerprint == reference
+    assert runner.last_stats["profiles_computed"] == 1  # recomputed, no crash
+    assert runner.cache.rejected_count > 0
+    # The damaged entries were healed: a further run is fully warm.
+    fingerprint, runner = _rerun_fingerprint(scenarios, cache_dir)
+    assert fingerprint == reference
+    assert runner.last_stats["profiles_computed"] == 0
+    assert runner.cache.rejected_count == 0
+
+
+def test_checksum_mismatch_recomputes_cleanly(tmp_path):
+    cache_dir = tmp_path / "cache"
+    scenarios, reference = _warm_reference(cache_dir)
+    for path in _entry_paths(cache_dir):
+        envelope = json.loads(path.read_text())
+        envelope["payload"]["sizes"] = [999]  # bit-rot the payload
+        path.write_text(json.dumps(envelope))
+    fingerprint, runner = _rerun_fingerprint(scenarios, cache_dir)
+    assert fingerprint == reference
+    assert runner.last_stats["profiles_computed"] == 1
+    assert runner.cache.rejected_count > 0
+
+
+@pytest.mark.parametrize(
+    "field,stale_value",
+    [("cache_version", CACHE_VERSION - 1), ("repro_version", "0.0.0")],
+    ids=["envelope-version", "simulator-version"],
+)
+def test_stale_version_recomputes_cleanly(tmp_path, field, stale_value):
+    """A stale envelope layout *or* a measurement taken by a different
+    simulator version reads as a miss -- warm caches must never serve
+    numbers an older simulator produced."""
+    cache_dir = tmp_path / "cache"
+    scenarios, reference = _warm_reference(cache_dir)
+    for path in _entry_paths(cache_dir):
+        envelope = json.loads(path.read_text())
+        envelope[field] = stale_value
+        path.write_text(json.dumps(envelope))
+    fingerprint, runner = _rerun_fingerprint(scenarios, cache_dir)
+    assert fingerprint == reference
+    assert runner.last_stats["profiles_computed"] == 1
+    assert runner.cache.rejected_count > 0
+
+
+def test_wrong_key_or_kind_reads_as_miss(tmp_path):
+    cache = ProfileCache(tmp_path / "cache")
+    path = cache.put(KIND_PROFILE, "aa11", {"x": 1})
+    moved = cache.entry_path(KIND_PROFILE, "bb22")
+    moved.parent.mkdir(parents=True, exist_ok=True)
+    moved.write_text(path.read_text())  # entry filed under the wrong key
+    assert cache.get(KIND_PROFILE, "bb22") is None
+    assert cache.rejected_count == 1
+    # Rejection never unlinks (it could race a healing writer); the
+    # damaged file is simply overwritten by the next put.
+    assert moved.exists()
+    cache.put(KIND_PROFILE, "bb22", {"x": 2})
+    assert cache.get(KIND_PROFILE, "bb22") == {"x": 2}
+
+
+def _race_writer(root, key, payload, barrier, repeats):
+    """Hammer one key from a separate process (fork target)."""
+    cache = ProfileCache(root)
+    barrier.wait()
+    for _ in range(repeats):
+        cache.put(KIND_PROFILE, key, payload)
+
+
+def test_concurrent_writers_of_one_key_leave_an_intact_entry(tmp_path):
+    """Two processes racing on the same key must never corrupt it.
+
+    Content-addressing makes the race benign -- both writers carry the
+    identical payload -- and atomic replace makes every intermediate
+    state a complete file.
+    """
+    root = tmp_path / "cache"
+    key = "deadbeefdeadbeef"
+    payload = {"sizes": [1, 2, 4], "curves": {"task:a": [[1, 10.0]]}}
+    context = multiprocessing.get_context(
+        "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+    )
+    barrier = context.Barrier(2)
+    writers = [
+        context.Process(
+            target=_race_writer, args=(str(root), key, payload, barrier, 50)
+        )
+        for _ in range(2)
+    ]
+    for writer in writers:
+        writer.start()
+    for writer in writers:
+        writer.join(timeout=60)
+        assert writer.exitcode == 0
+    reader = ProfileCache(root)
+    assert reader.get(KIND_PROFILE, key) == payload
+    assert reader.rejected_count == 0
+    # No temp-file litter left behind by the atomic writes.
+    assert _entry_paths(root) == [reader.entry_path(KIND_PROFILE, key)]
+    assert list(root.glob("*/*/.*.tmp")) == []
+
+
+# -- the acceptance gate -------------------------------------------------------
+
+
+def _run_smoke(cache_dir, *extra):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    env[CACHE_ENV_VAR] = str(cache_dir)
+    return subprocess.run(
+        [sys.executable, "-m", "repro.exp.smoke", *extra],
+        capture_output=True, text=True, timeout=120, env=env,
+        cwd=str(REPO_ROOT),
+    )
+
+
+def test_repeated_smoke_reuses_the_cache_across_processes(tmp_path):
+    """Acceptance: a second ``python -m repro.exp.smoke`` in a *fresh
+    process* performs zero profiling passes against the warm cache and
+    reproduces the cold run's fingerprint (asserted inside the smoke,
+    which compares warm/cold stores and pass counters)."""
+    cache_dir = tmp_path / "cache"
+    cold = _run_smoke(cache_dir)
+    assert cold.returncode == 0, cold.stdout + cold.stderr
+    assert "computed=1" in cold.stdout
+    warm = _run_smoke(cache_dir, "--expect-warm")
+    assert warm.returncode == 0, warm.stdout + warm.stderr
+    assert "profiles computed=0" in warm.stdout

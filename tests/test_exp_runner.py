@@ -100,7 +100,9 @@ def test_l2_capacity_sweep_profiles_once(profile_counter):
     assert runner.last_stats == {
         "scenarios": 4,
         "profiles_computed": 1, "profiles_cached": 0,
+        "profiles_from_disk": 0,
         "baselines_computed": 2, "baselines_cached": 0,
+        "baselines_from_disk": 0,
     }
 
 
@@ -225,3 +227,123 @@ def test_set_mode_record_contents():
 def test_runner_rejects_bad_worker_count():
     with pytest.raises(ConfigurationError):
         ExperimentRunner(workers=0)
+
+
+# -- execution backends --------------------------------------------------------
+
+
+def test_make_backend_names_and_default():
+    from repro.exp import (
+        AsyncBackend,
+        InlineBackend,
+        ProcessPoolBackend,
+        make_backend,
+    )
+
+    assert isinstance(make_backend(None, workers=1), InlineBackend)
+    assert isinstance(make_backend(None, workers=3), ProcessPoolBackend)
+    assert isinstance(make_backend("inline", workers=8), InlineBackend)
+    pool = make_backend("pool", workers=3)
+    assert isinstance(pool, ProcessPoolBackend) and pool.workers == 3
+    concurrent = make_backend("async", workers=5)
+    assert isinstance(concurrent, AsyncBackend) and concurrent.concurrency == 5
+    assert make_backend(pool, workers=1) is pool
+    with pytest.raises(ConfigurationError):
+        make_backend("carrier-pigeon")
+    with pytest.raises(ConfigurationError):
+        AsyncBackend(concurrency=0)
+
+
+def test_async_backend_matches_inline_fingerprint(tmp_path):
+    from repro.exp import AsyncBackend
+
+    scenarios = sweep(base_scenario(), l2_size_kb=[64, 128],
+                      solver=["dp", "greedy"])
+    serial = ExperimentRunner(workers=1).run(scenarios)
+    clear_caches()
+    concurrent = ExperimentRunner(
+        backend=AsyncBackend(concurrency=4),
+        store_path=str(tmp_path / "async.jsonl"),
+    ).run(scenarios)
+    assert concurrent.fingerprint() == serial.fingerprint()
+    # Streamed JSONL preserves scenario order too.
+    assert ResultStore.load(tmp_path / "async.jsonl").canonical() == \
+        serial.canonical()
+
+
+def test_backend_map_yields_results_in_task_order():
+    from repro.exp import AsyncBackend, InlineBackend, ProcessPoolBackend
+
+    tasks = [{"scenario": None, "index": i} for i in range(12)]
+
+    def worker(task):
+        return task["index"]
+
+    assert list(InlineBackend().map(worker, tasks)) == list(range(12))
+    assert list(AsyncBackend(concurrency=6).map(worker, tasks)) == \
+        list(range(12))
+    assert list(ProcessPoolBackend(workers=3).map(_index_worker, tasks)) == \
+        list(range(12))
+    assert list(ProcessPoolBackend(workers=3).map(_index_worker, [])) == []
+
+
+def _index_worker(task):
+    """Module-level so the process pool can pickle it."""
+    return task["index"]
+
+
+def test_async_backend_streams_results_before_a_failure():
+    """A failing task must not discard completed predecessors: records
+    stream in task order until the failure, like the lazy backends."""
+    from repro.exp import AsyncBackend
+
+    def worker(task):
+        if task["index"] == 4:
+            raise ValueError("boom")
+        return task["index"]
+
+    received = []
+    with pytest.raises(ValueError, match="boom"):
+        for result in AsyncBackend(concurrency=3).map(
+            worker, [{"index": i} for i in range(6)]
+        ):
+            received.append(result)
+    assert received == [0, 1, 2, 3]
+
+
+def test_async_backend_is_lazy_until_iterated():
+    """An unconsumed map() must do no work -- parity with the lazy
+    inline/pool backends."""
+    import gc
+
+    from repro.exp import AsyncBackend
+
+    calls = []
+
+    def worker(task):
+        calls.append(task["index"])
+        return task["index"]
+
+    results = AsyncBackend(concurrency=2).map(
+        worker, [{"index": i} for i in range(3)]
+    )
+    assert calls == []  # nothing scheduled yet
+    del results
+    gc.collect()
+    assert calls == []  # dropping it unconsumed runs nothing either
+    assert list(AsyncBackend(concurrency=2).map(
+        worker, [{"index": i} for i in range(3)]
+    )) == [0, 1, 2]
+
+
+def test_async_backend_runs_inside_a_running_event_loop():
+    import asyncio
+
+    from repro.exp import AsyncBackend
+
+    async def driver():
+        return list(AsyncBackend(concurrency=2).map(
+            _index_worker, [{"index": i} for i in range(4)]
+        ))
+
+    assert asyncio.run(driver()) == [0, 1, 2, 3]

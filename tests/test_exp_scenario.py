@@ -231,3 +231,154 @@ def test_mode_axis_accepts_enum_and_string():
 def test_describe_mentions_the_key_axes():
     text = base_scenario().describe()
     assert "pipeline" in text and "l2=64KB" in text and "solver=dp" in text
+
+
+# -- property-based identity ---------------------------------------------------
+#
+# The content hashes are load-bearing for the persistent profile cache
+# (identical keys must mean identical work), so their invariants get
+# randomized coverage: hypothesis when it is installed, seeded-random
+# loops otherwise -- both drive the same ``_check_*`` properties
+# through a ``random.Random``-compatible source.
+
+import random  # noqa: E402
+
+from repro.exp import AXES  # noqa: E402
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - CI installs no hypothesis
+    HAVE_HYPOTHESIS = False
+
+#: (axis name, candidate values) -- all combinations keep the default
+#: 512 KB / 64 B-line cake geometrically valid.
+AXIS_DOMAIN = [
+    ("l2_size_kb", [128, 256, 512]),
+    ("l2_ways", [2, 4, 8]),
+    ("n_cpus", [1, 2, 4]),
+    ("solver", ["dp", "greedy", "milp"]),
+    ("sizes", [[1, 2], [1, 2, 4], [2, 4, 8]]),
+    ("seed", [1, 7, 20050307]),
+    ("fifo_policy", ["all-hit", "all-miss"]),
+    ("scheduling", ["static", "migrate"]),
+]
+
+
+def _apply_axes(scenario, choices):
+    for name, value in choices:
+        scenario = AXES[name](scenario, value)
+    return scenario
+
+
+def _check_axis_order_independence(rng):
+    """Distinct axes commute: any application order, one scenario_id."""
+    choices = [
+        (name, rng.choice(values))
+        for name, values in AXIS_DOMAIN
+        if rng.random() < 0.7
+    ]
+    base = Scenario(
+        workload=WorkloadSpec("pipeline", {"n_stages": 3, "n_tokens": 8}),
+        method=MethodConfig(sizes=[1, 2]),
+    )
+    forward = _apply_axes(base, choices)
+    shuffled = _apply_axes(base, rng.sample(choices, len(choices)))
+    assert forward.scenario_id == shuffled.scenario_id
+    assert forward.profile_key == shuffled.profile_key
+    assert forward.baseline_key == shuffled.baseline_key
+    # And the identity survives the JSON round-trip.
+    clone = Scenario.from_dict(forward.to_dict())
+    assert clone.scenario_id == forward.scenario_id
+    assert clone.profile_key == forward.profile_key
+
+
+def _check_l2_sets_round_trip(rng):
+    cake = CakeConfig()
+    original_sets = cake.hierarchy.l2_geometry.sets
+    sets = rng.choice([256, 512, 1024, 2048, 4096])
+    resized = cake.with_l2_sets(sets)
+    assert resized.hierarchy.l2_geometry.sets == sets
+    assert resized.hierarchy.l2_geometry.ways == \
+        cake.hierarchy.l2_geometry.ways
+    assert resized.with_l2_sets(original_sets) == cake
+    scenario = Scenario(workload=WorkloadSpec("pipeline"), cake=cake,
+                        method=MethodConfig(sizes=[1, 2]))
+    from dataclasses import replace
+
+    restored = replace(scenario, cake=resized.with_l2_sets(original_sets))
+    assert restored.scenario_id == scenario.scenario_id
+
+
+def _check_l2_ways_round_trip(rng):
+    cake = CakeConfig()
+    original_ways = cake.hierarchy.l2_geometry.ways
+    ways = rng.choice([2, 4, 8, 16])
+    rewayed = cake.with_l2_ways(ways)
+    assert rewayed.hierarchy.l2_geometry.ways == ways
+    # Capacity is preserved: sets shrink as ways grow.
+    assert rewayed.hierarchy.l2_geometry.size_bytes == \
+        cake.hierarchy.l2_geometry.size_bytes
+    assert rewayed.with_l2_ways(original_ways) == cake
+
+
+def _check_capacity_and_solver_share_profile_key(rng):
+    """The invariant the cache's cross-sweep reuse rests on."""
+    from dataclasses import replace
+
+    base = base_scenario()
+    variant = base
+    for _ in range(rng.randint(1, 4)):
+        kind = rng.choice(["size", "sets", "solver", "mode"])
+        if kind == "size":
+            variant = replace(
+                variant,
+                cake=variant.cake.with_l2_size(
+                    rng.choice([64, 128, 256]) * 1024
+                ),
+            )
+        elif kind == "sets":
+            variant = replace(
+                variant,
+                cake=variant.cake.with_l2_sets(
+                    rng.choice([128, 256, 512, 1024])
+                ),
+            )
+        elif kind == "solver":
+            variant = variant.with_method(
+                solver=rng.choice(["dp", "greedy", "milp"])
+            )
+        else:
+            variant = replace(
+                variant,
+                partition_mode=rng.choice(
+                    [PartitionMode.SET_PARTITIONED,
+                     PartitionMode.WAY_PARTITIONED]
+                ),
+            )
+    assert variant.profile_key == base.profile_key
+
+
+_PROPERTIES = [
+    _check_axis_order_independence,
+    _check_l2_sets_round_trip,
+    _check_l2_ways_round_trip,
+    _check_capacity_and_solver_share_profile_key,
+]
+
+if HAVE_HYPOTHESIS:
+
+    @pytest.mark.parametrize("prop", _PROPERTIES, ids=lambda p: p.__name__)
+    @settings(max_examples=25, deadline=None)
+    @given(rnd=st.randoms(use_true_random=False))
+    def test_identity_properties(prop, rnd):
+        prop(rnd)
+
+else:  # pragma: no cover - exercised only without hypothesis
+
+    @pytest.mark.parametrize("prop", _PROPERTIES, ids=lambda p: p.__name__)
+    def test_identity_properties(prop):
+        for case in range(25):
+            prop(random.Random(f"20050307-{case}-{prop.__name__}"))

@@ -147,6 +147,76 @@ def test_to_table_default_and_custom_columns():
     assert rows == [["dp", 20]]
 
 
+def test_filter_by_identity_uses_the_index():
+    store = ResultStore()
+    store.append(make_record(solver="dp"))
+    store.append(make_record(solver="greedy"))
+    target = store.records[0]
+    hits = store.filter(scenario_id=target.scenario_id)
+    assert hits.records == [target]
+    assert store.filter(scenario_id="0123456789abcdef").records == []
+    # profile_key narrows the same way, and composes with axes.
+    keyed = store.filter(profile_key=target.profile_key, solver="dp")
+    assert keyed.records == [target]
+    assert store.filter(profile_key=target.profile_key,
+                        solver="milp").records == []
+
+
+_MISSING = object()
+
+
+def test_filter_index_matches_linear_scan_on_5k_records():
+    """Regression for the indexed fast path: identical results, order
+    included, as the brute-force scan over a 5000-record store."""
+    import copy
+
+    template = make_record()
+    store = ResultStore()
+    for i in range(5000):
+        payload = copy.deepcopy(template)
+        payload["scenario_id"] = f"sid{i % 500:04d}"
+        # Every 10th record is shared-mode (no profiling identity).
+        payload["profile_key"] = None if i % 10 == 0 else f"pk{i % 40:03d}"
+        payload["axes"]["solver"] = "dp" if i % 2 == 0 else "greedy"
+        payload["axes"]["seed"] = i % 7
+        store.append(payload)
+
+    def linear(scenario_id=_MISSING, profile_key=_MISSING, **axes):
+        result = []
+        for record in store.records:
+            if scenario_id is not _MISSING and \
+                    record.scenario_id != scenario_id:
+                continue
+            if profile_key is not _MISSING and \
+                    record.profile_key != profile_key:
+                continue
+            if any(record.axes.get(k) != v for k, v in axes.items()):
+                continue
+            result.append(record)
+        return result
+
+    queries = [
+        {"scenario_id": "sid0000"},
+        {"scenario_id": "sid0499"},
+        {"scenario_id": "sid0123", "solver": "greedy"},
+        {"scenario_id": "no-such-id"},
+        {"profile_key": "pk000"},
+        {"profile_key": "pk039", "seed": 4},
+        {"profile_key": None},  # the shared-mode records
+        {"scenario_id": "sid0004", "profile_key": "pk004"},
+        {"scenario_id": "sid0004", "profile_key": "pk017"},  # disjoint
+    ]
+    for query in queries:
+        assert store.filter(**query).records == linear(**query), query
+
+    # The index extends over records appended after it was first used.
+    late = copy.deepcopy(template)
+    late["scenario_id"] = "sid-late"
+    store.append(late)
+    assert [r.scenario_id for r in store.filter(scenario_id="sid-late")] \
+        == ["sid-late"]
+
+
 def test_report_from_store_renders_axes_and_metrics():
     store = ResultStore()
     store.append(make_record(solver="dp"))
