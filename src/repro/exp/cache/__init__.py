@@ -33,9 +33,17 @@ and a damaged entry must *never* poison a run.
   recompute's atomic ``put`` overwrites the damage.  No cache problem
   ever raises into a sweep.
 
+- **Bounded growth.**  ``ProfileCache(max_bytes=...)`` prunes the
+  least-recently-written entries (LRU by mtime) after every write, and
+  ``gc()`` / the ``gc`` CLI subcommand prune on demand.  Deletion is a
+  single ``unlink`` per entry, so a concurrent reader either wins the
+  race (POSIX keeps an opened file's data alive) or sees an ordinary
+  miss and recomputes.
+
 The cache root defaults to ``$REPRO_PROFILE_CACHE`` when set, else
 ``$XDG_CACHE_HOME/repro/profiles`` (``~/.cache/repro/profiles``).
-``python -m repro.exp.cache stats|clear`` inspects and empties it.
+``python -m repro.exp.cache stats|clear|gc`` inspects, empties or
+prunes it.
 """
 
 from __future__ import annotations
@@ -71,7 +79,11 @@ __all__ = [
 
 #: Bump when the envelope or payload layout changes incompatibly;
 #: entries with any other version read as misses.
-CACHE_VERSION = 1
+#: v2: baseline envelopes no longer persist ``task_stats`` (nothing
+#: downstream reads them -- see ``run_metrics_to_payload``), and
+#: content keys exclude the hierarchy engine.  v1 entries read as
+#: misses and are recomputed/overwritten in place.
+CACHE_VERSION = 2
 
 #: Environment override for the default cache root.
 CACHE_ENV_VAR = "REPRO_PROFILE_CACHE"
@@ -137,8 +149,25 @@ class ProfileCache:
     :mod:`repro.exp.scenario`.
     """
 
-    def __init__(self, root: Optional[_PathLike] = None):
+    def __init__(
+        self,
+        root: Optional[_PathLike] = None,
+        max_bytes: Optional[int] = None,
+    ):
         self.root = Path(root) if root is not None else default_cache_dir()
+        if max_bytes is not None and max_bytes < 0:
+            raise ConfigurationError(
+                f"max_bytes must be >= 0, got {max_bytes}"
+            )
+        #: Size budget enforced by :meth:`gc` (and opportunistically
+        #: after every :meth:`put`); ``None`` disables pruning.
+        self.max_bytes = max_bytes
+        #: Running upper estimate of the on-disk size, so bounded
+        #: caches do not pay a full directory scan per write: the
+        #: first budgeted put scans once (via gc), later puts add the
+        #: written size and only re-scan when the estimate crosses the
+        #: budget.  ``None`` until the first scan.
+        self._approx_bytes: Optional[int] = None
         #: Process-local traffic counters (reported by :meth:`stats`).
         self.hit_count = 0
         self.miss_count = 0
@@ -218,6 +247,17 @@ class ProfileCache:
             except OSError:
                 pass
             raise
+        if self.max_bytes is not None:
+            if self._approx_bytes is None:
+                self.gc()  # first budgeted write: scan + prune once
+            else:
+                try:
+                    self._approx_bytes += path.stat().st_size
+                except OSError:
+                    self._approx_bytes = None  # re-scan next time
+                if self._approx_bytes is None \
+                        or self._approx_bytes > self.max_bytes:
+                    self.gc()
         return path
 
     def _reject(self, path: Path) -> None:
@@ -248,7 +288,11 @@ class ProfileCache:
         return None if payload is None else run_metrics_from_payload(payload)
 
     def put_baseline(self, key: str, metrics: RunMetrics) -> Path:
-        return self.put(KIND_BASELINE, key, run_metrics_to_payload(metrics))
+        """Store a baseline in the slim (task-stats-free) envelope."""
+        return self.put(
+            KIND_BASELINE, key,
+            run_metrics_to_payload(metrics, task_stats=False),
+        )
 
     # -- maintenance -------------------------------------------------------
 
@@ -286,11 +330,91 @@ class ProfileCache:
             },
         }
 
+    #: Temp files younger than this are presumed to belong to a *live*
+    #: writer (between mkstemp and the atomic replace) and are left
+    #: alone by :meth:`gc`; only older orphans count as crash litter.
+    LITTER_MAX_AGE_S = 60.0
+
+    def gc(self, max_bytes: Optional[int] = None) -> Dict[str, int]:
+        """Prune least-recently-used entries down to the size budget.
+
+        Recency is the file mtime: ``put`` rewrites an entry's file, so
+        re-measured (or healed) entries count as fresh, while entries
+        no sweep has written for the longest go first.  Orphaned writer
+        temp files older than :attr:`LITTER_MAX_AGE_S` are always
+        removed (younger ones may belong to an in-flight ``put`` and
+        are spared).  Deletion is atomic per entry (one ``unlink``): a
+        concurrent reader either opened the file before the unlink --
+        POSIX keeps its data alive -- or sees a plain miss and
+        recomputes; no reader can observe a partial entry.  Evicting
+        any entry bumps the root's clear generation, so in-process
+        "verified on disk" memos (the runner's backfill) re-check
+        rather than trusting a pruned key.  Returns ``{"removed",
+        "freed_bytes", "kept", "kept_bytes"}``.
+        """
+        import time as _time
+
+        budget = max_bytes if max_bytes is not None else self.max_bytes
+        if budget is not None and budget < 0:
+            raise ConfigurationError(
+                f"max_bytes must be >= 0, got {budget}"
+            )
+        removed = 0
+        freed = 0
+        now = _time.time()
+        for litter in self._litter_files():
+            try:
+                stat = litter.stat()
+                if now - stat.st_mtime < self.LITTER_MAX_AGE_S:
+                    continue  # possibly a live writer's temp
+                litter.unlink()
+                removed += 1
+                freed += stat.st_size
+            except OSError:
+                pass
+        entries = []
+        total = 0
+        for path in self._entry_files():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+            total += stat.st_size
+        kept = len(entries)
+        evicted_entries = 0
+        if budget is not None and total > budget:
+            entries.sort()  # oldest mtime first
+            for _mtime, size, path in entries:
+                if total <= budget:
+                    break
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+                total -= size
+                removed += 1
+                freed += size
+                kept -= 1
+                evicted_entries += 1
+        if evicted_entries:
+            _CLEAR_GENERATIONS[os.path.realpath(self.root)] = (
+                clear_generation(self.root) + 1
+            )
+        self._approx_bytes = total
+        return {
+            "removed": removed,
+            "freed_bytes": freed,
+            "kept": kept,
+            "kept_bytes": total,
+        }
+
     def clear(self) -> int:
         """Remove every entry (and writer litter); returns files deleted."""
         _CLEAR_GENERATIONS[os.path.realpath(self.root)] = (
             clear_generation(self.root) + 1
         )
+        self._approx_bytes = 0
         removed = 0
         for files in (self._entry_files(), self._litter_files()):
             for path in files:
@@ -352,15 +476,16 @@ def _format_bytes(count: int) -> str:
 
 
 def main(argv: Optional[list] = None) -> int:
-    """``python -m repro.exp.cache stats|clear [--dir PATH]``."""
+    """``python -m repro.exp.cache stats|clear|gc [--dir PATH]``."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.exp.cache",
-        description="Inspect or empty the persistent profile cache.",
+        description="Inspect, prune or empty the persistent profile cache.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
     for name, help_text in (
         ("stats", "entry counts and sizes per kind"),
         ("clear", "delete every cached entry"),
+        ("gc", "prune least-recently-used entries to a size budget"),
     ):
         command = sub.add_parser(name, help=help_text)
         command.add_argument(
@@ -369,10 +494,27 @@ def main(argv: Optional[list] = None) -> int:
             help=f"cache root (default: ${CACHE_ENV_VAR} or "
             f"{Path('~/.cache/repro/profiles')})",
         )
+        if name == "gc":
+            command.add_argument(
+                "--max-bytes",
+                type=int,
+                default=None,
+                help="size budget in bytes (0 empties the cache; "
+                "omitted: remove only crashed-writer litter, keep "
+                "every valid entry)",
+            )
     args = parser.parse_args(argv)
 
     cache = ProfileCache(args.dir)
-    if args.command == "stats":
+    if args.command == "gc":
+        result = cache.gc(max_bytes=args.max_bytes)
+        print(
+            f"gc {cache.root}: removed {result['removed']} files "
+            f"({_format_bytes(result['freed_bytes'])}), kept "
+            f"{result['kept']} entries "
+            f"({_format_bytes(result['kept_bytes'])})"
+        )
+    elif args.command == "stats":
         stats = cache.stats()
         print(f"profile cache at {stats['root']}")
         for kind in _KINDS:

@@ -78,6 +78,11 @@ AXES: Dict[str, AxisApply] = {
     "mode": _axis_partition_mode,
     "seed": lambda s, v: replace(s, seed=v),
     "tag": lambda s, v: replace(s, tag=v),
+    # Execution engine (reference/fast/compiled).  Not part of the
+    # scenario identity: engines are bit-identical, so an engine axis
+    # produces colliding scenario_ids on purpose -- it exists to prove
+    # exactly that (the smoke gate and differential tests sweep it).
+    "engine": lambda s, v: s.with_engine(v),
 }
 
 

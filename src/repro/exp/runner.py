@@ -153,13 +153,18 @@ def _base_record(scenario: Scenario) -> Dict[str, Any]:
         "schema": SCHEMA_VERSION,
         "scenario_id": scenario.scenario_id,
         "profile_key": scenario.profile_key if scenario.needs_profile else None,
-        "scenario": scenario.to_dict(),
+        # Canonical spec: engine-free, so records (and therefore store
+        # fingerprints) are identical across the bit-identical engines.
+        "scenario": scenario.to_dict(canonical=True),
         "axes": _axes_view(scenario),
         "plan": None,
         "way_assignment": None,
         "metrics": {"shared": None, "partitioned": None},
         "compositionality": None,
-        "timing": {"wall_s": 0.0, "created_unix": 0.0},
+        # The engine rides in the timing block: execution metadata,
+        # excluded from identity comparisons like the wall times.
+        "timing": {"wall_s": 0.0, "created_unix": 0.0,
+                   "engine": scenario.effective_cake.hierarchy.engine},
     }
 
 
@@ -246,6 +251,7 @@ def execute_scenario(
     record["timing"] = {
         "wall_s": time.time() - started,
         "created_unix": started,
+        "engine": scenario.effective_cake.hierarchy.engine,
     }
     return ScenarioOutcome(record=ScenarioRecord(record), report=report)
 
@@ -336,7 +342,11 @@ def _measure_task(task: Dict[str, Any]) -> Dict[str, Any]:
     if task["kind"] == KIND_PROFILE:
         payload = profile_to_payload(_compute_profile(scenario))
     else:
-        payload = run_metrics_to_payload(_compute_baseline(scenario))
+        # Baseline envelopes are slim: per-task stats are never read
+        # out of a cached baseline (see run_metrics_to_payload).
+        payload = run_metrics_to_payload(
+            _compute_baseline(scenario), task_stats=False
+        )
     persisted = False
     if task.get("cache_dir"):
         try:
@@ -793,7 +803,9 @@ class ExperimentRunner:
                 inline_payloads[(kind, key)] = (
                     profile_to_payload(_PROFILE_CACHE[key])
                     if kind == KIND_PROFILE
-                    else run_metrics_to_payload(_BASELINE_CACHE[key])
+                    else run_metrics_to_payload(
+                        _BASELINE_CACHE[key], task_stats=False
+                    )
                 )
             return inline_payloads[(kind, key)]
 

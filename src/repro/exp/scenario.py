@@ -73,8 +73,16 @@ class WorkloadSpec:
         return cls(name=payload["name"], kwargs=dict(payload.get("kwargs", {})))
 
 
-def _cake_to_dict(config: CakeConfig) -> Dict[str, Any]:
-    return asdict(config)
+def _cake_to_dict(config: CakeConfig, engine: bool = True) -> Dict[str, Any]:
+    payload = asdict(config)
+    if not engine:
+        # The hierarchy engine is an execution detail, not part of any
+        # experiment's identity: all engines are bit-identical (the
+        # differential suite enforces it), so identities, cache keys
+        # and records deliberately exclude it -- an engine sweep reuses
+        # every measurement and reproduces every fingerprint.
+        payload["hierarchy"].pop("engine")
+    return payload
 
 
 def _cake_from_dict(payload: Mapping[str, Any]) -> CakeConfig:
@@ -89,7 +97,8 @@ def _cake_from_dict(payload: Mapping[str, Any]) -> CakeConfig:
             dram=DramConfig(**hierarchy["dram"]),
             bus=BusConfig(**hierarchy["bus"]),
             l2_policy=hierarchy["l2_policy"],
-            engine=hierarchy["engine"],
+            # Canonical (record) dicts strip the engine; default it.
+            engine=hierarchy.get("engine", "fast"),
         ),
         switch_cycles=payload["switch_cycles"],
         quantum_cycles=payload["quantum_cycles"],
@@ -130,26 +139,37 @@ def _method_from_dict(payload: Mapping[str, Any]) -> MethodConfig:
 # one computed from the in-process original.
 
 
-def run_metrics_to_payload(metrics: RunMetrics) -> Dict[str, Any]:
-    """The JSON-serialisable form of one run's measurements."""
-    return {
+def run_metrics_to_payload(
+    metrics: RunMetrics, task_stats: bool = True
+) -> Dict[str, Any]:
+    """The JSON-serialisable form of one run's measurements.
+
+    ``task_stats=False`` produces the *baseline* envelope: nothing
+    downstream reads per-task statistics out of a cached shared-cache
+    baseline (records are built from the L2/CPU counters alone), so
+    the persistent cache stores baselines without them -- roughly
+    halving the entry size.  The inverse tolerates either form.
+    """
+    payload = {
         "cpus": [asdict(cpu) for cpu in metrics.cpus],
         "l2_by_owner": {
             owner: asdict(stats)
             for owner, stats in metrics.l2_by_owner.items()
         },
-        "task_stats": {
-            name: asdict(stats)
-            for name, stats in metrics.task_stats.items()
-        },
         "elapsed_cycles": metrics.elapsed_cycles,
         "l2_cross_evictions": metrics.l2_cross_evictions,
         "dram_lines": metrics.dram_lines,
     }
+    if task_stats:
+        payload["task_stats"] = {
+            name: asdict(stats)
+            for name, stats in metrics.task_stats.items()
+        }
+    return payload
 
 
 def run_metrics_from_payload(payload: Mapping[str, Any]) -> RunMetrics:
-    """Inverse of :func:`run_metrics_to_payload`."""
+    """Inverse of :func:`run_metrics_to_payload` (either form)."""
     return RunMetrics(
         cpus=[CpuMetrics(**cpu) for cpu in payload["cpus"]],
         l2_by_owner={
@@ -158,7 +178,7 @@ def run_metrics_from_payload(payload: Mapping[str, Any]) -> RunMetrics:
         },
         task_stats={
             name: TaskStats(**stats)
-            for name, stats in payload["task_stats"].items()
+            for name, stats in payload.get("task_stats", {}).items()
         },
         elapsed_cycles=payload["elapsed_cycles"],
         l2_cross_evictions=payload["l2_cross_evictions"],
@@ -220,11 +240,18 @@ class Scenario:
 
     # -- serialisation -----------------------------------------------------
 
-    def to_dict(self) -> Dict[str, Any]:
-        """The JSON-serialisable spec (round-trips via from_dict)."""
+    def to_dict(self, canonical: bool = False) -> Dict[str, Any]:
+        """The JSON-serialisable spec (round-trips via from_dict).
+
+        ``canonical=True`` drops the hierarchy engine -- the form used
+        for identities and stored records, which must be invariant
+        under the (bit-identical) execution engines.  The default form
+        keeps it, so workers and sessions replay with the engine the
+        caller picked.
+        """
         return {
             "workload": self.workload.to_dict(),
-            "cake": _cake_to_dict(self.effective_cake),
+            "cake": _cake_to_dict(self.effective_cake, engine=not canonical),
             "method": _method_to_dict(self.method),
             "partition_mode": self.partition_mode.value,
             "tag": self.tag,
@@ -244,8 +271,9 @@ class Scenario:
 
     @property
     def scenario_id(self) -> str:
-        """Content hash of the spec (minus the presentation tag)."""
-        payload = self.to_dict()
+        """Content hash of the spec (minus the presentation tag and
+        the execution engine, neither of which changes any result)."""
+        payload = self.to_dict(canonical=True)
         payload.pop("tag")
         return content_hash(payload)
 
@@ -259,11 +287,13 @@ class Scenario:
         """Content hash of the profiling work this scenario needs.
 
         Excludes the L2 set count (profiling uses a virtual L2; curves
-        are set-count independent in a fully partitioned cache) and the
-        solver (profiling happens before optimization), so capacity
-        sweeps and solver comparisons share one profiling pass.
+        are set-count independent in a fully partitioned cache), the
+        solver (profiling happens before optimization) and the
+        execution engine (bit-identical by contract), so capacity
+        sweeps, solver comparisons and engine comparisons share one
+        profiling pass.
         """
-        cake = _cake_to_dict(self.effective_cake)
+        cake = _cake_to_dict(self.effective_cake, engine=False)
         cake["hierarchy"]["l2_geometry"].pop("sets")
         return content_hash({
             "workload": self.workload.to_dict(),
@@ -278,7 +308,7 @@ class Scenario:
         """Content hash of the shared-cache baseline run it needs."""
         return content_hash({
             "workload": self.workload.to_dict(),
-            "cake": _cake_to_dict(self.effective_cake),
+            "cake": _cake_to_dict(self.effective_cake, engine=False),
         })
 
     # -- convenience -------------------------------------------------------
@@ -290,6 +320,21 @@ class Scenario:
     def with_method(self, **changes) -> "Scenario":
         """A copy with method-config fields replaced."""
         return replace(self, method=replace(self.method, **changes))
+
+    def with_engine(self, engine: str) -> "Scenario":
+        """A copy running on a different hierarchy engine.
+
+        Engines are bit-identical, so the copy shares this scenario's
+        identity, profile key and baseline key -- an engine axis reuses
+        every cached measurement and reproduces every fingerprint.
+        """
+        return replace(
+            self,
+            cake=replace(
+                self.cake,
+                hierarchy=replace(self.cake.hierarchy, engine=engine),
+            ),
+        )
 
     def describe(self) -> str:
         """One-line human description."""

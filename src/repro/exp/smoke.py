@@ -9,6 +9,10 @@ contracts end to end:
   axis share one profile key) -- and on the second pass, with the memo
   tables cleared, ran *zero* times: everything resolves from the
   on-disk cache, and the store fingerprint is byte-identical,
+- a third pass re-runs the grid with ``engine="compiled"`` (the
+  schedule-compiled execution tier): cache keys and records exclude
+  the engine, so it must re-measure nothing and reproduce the cold
+  fingerprint bit for bit,
 - every set-partitioned record removed cross-owner interference.
 
 The cache root honours ``$REPRO_PROFILE_CACHE``; without it a temp
@@ -166,6 +170,32 @@ def run_smoke(cache_dir: Path, tmp: Path, expect_warm: bool) -> int:
             f"({second.fingerprint()} != {store.fingerprint()})"
         )
 
+    # Pass 3: the same grid on the schedule-compiled engine.  Engines
+    # are bit-identical and excluded from every identity, so this pass
+    # must (a) reuse every cached measurement -- profile and baseline
+    # keys are engine-invariant -- and (b) reproduce the cold store
+    # fingerprint record for record.  (Without a C toolchain the
+    # compiled engine degrades to the fast walker, which keeps both
+    # contracts; the gate holds either way.)
+    compiled_runner = ExperimentRunner(
+        workers=1, store_path=str(tmp / "smoke_compiled.jsonl"), cache=cache
+    )
+    compiled = compiled_runner.run(
+        [scenario.with_engine("compiled") for scenario in scenarios]
+    )
+    compiled_stats = compiled_runner.last_stats
+    if compiled_stats["profiles_computed"] or \
+            compiled_stats["baselines_computed"]:
+        problems.append(
+            f"engine='compiled' pass re-measured work (engine must be "
+            f"excluded from cache keys): {compiled_stats}"
+        )
+    if compiled.fingerprint() != store.fingerprint():
+        problems.append(
+            "engine='compiled' fingerprint differs from the cold run "
+            f"({compiled.fingerprint()} != {store.fingerprint()})"
+        )
+
     header, rows = store.to_table(
         ("l2_kb", "solver", "shared_miss_rate", "partitioned_miss_rate",
          "miss_reduction_factor")
@@ -190,7 +220,8 @@ def run_smoke(cache_dir: Path, tmp: Path, expect_warm: bool) -> int:
         return 1
     print(
         "smoke ok: schema round-trips, 1 profile pass, warm re-run "
-        "re-profiled nothing, fingerprints identical, interference-free"
+        "re-profiled nothing, compiled engine reproduced the "
+        "fingerprint from cache, interference-free"
     )
     return 0
 

@@ -2,21 +2,38 @@
  *
  * Compiled on demand by repro.mem.cwalker with the system C compiler
  * and loaded through ctypes; when no compiler is available the Python
- * walker in hierarchy.py runs instead.  The routine replays, run by
- * run, exactly the state sequence of the reference engine:
+ * walker in hierarchy.py runs instead.  Two entry tiers live here,
+ * sharing ONE replay body (`walk_entry_runs`):
+ *
+ * - `walk_batch`: the stateless per-batch kernel of the fast engine.
+ *   Cache state arrives flattened per call and is marshalled back
+ *   afterwards -- economical only above a batch-size threshold.  It is
+ *   a thin wrapper that builds a stack-local walker_state over its
+ *   arguments and runs the shared body once.
+ * - `walker_state_new` / `walk_segment`: the schedule-compiled tier.
+ *   A persistent state handle keeps the L1s of every CPU, the shared
+ *   L2 (set-associative LRU/FIFO *or* the way-managed column cache),
+ *   the DRAM bank timers and the shared-bus demand model resident in C
+ *   between calls, so batches of any size -- and whole schedule
+ *   segments of consecutive deterministic ops -- run without
+ *   re-marshalling.
+ *
+ * The replay body executes, run by run, exactly the state sequence of
+ * the reference engine:
  *
  *   L1 probe -> (miss) L1 fill + eviction -> dirty-victim writeback
  *   probe into the L2 -> L2 probe (demand or store fill) -> L2 fill +
  *   eviction -> DRAM bank timing.
  *
- * Cache state arrives as flat arrays (one row of `ways` slots per set,
+ * Cache state lives in flat arrays (one row of `ways` slots per set,
  * slot 0 = MRU, parallel owner/dirty arrays, per-set lengths); the
  * caller rebuilds the Python-side dict/list state from the mutated
- * arrays afterwards.  Statistics are not computed here: the kernel
- * emits one flag byte and victim-owner slots per run, which the caller
- * reduces with numpy.  Cold-miss classification needs no support at
- * all -- a line's first-ever access always misses, so the caller can
- * derive cold runs from batch-first occurrences and its seen-sets.
+ * arrays when it needs that view.  Statistics are not computed here:
+ * the kernel emits one flag byte and victim-owner slots per run, which
+ * the caller reduces with numpy.  Cold-miss classification needs no
+ * support at all -- a line's first-ever access always misses, so the
+ * caller can derive cold runs from batch-first occurrences and its
+ * seen-sets.
  *
  * Flag bits per run (matching repro.mem.cwalker.FLAG_*):
  *   1  L1 miss (implies one L2 probe: demand or store fill)
@@ -32,6 +49,7 @@
  * conflicts.
  */
 
+#include <math.h>
 #include <stdint.h>
 #include <stdlib.h>
 #include <string.h>
@@ -43,6 +61,14 @@
 #define FLAG_L1_WB 16
 #define FLAG_L2_WB 32
 #define FLAG_L2_PROBE_MISS 64
+
+#define ENTRY_COMPUTE 0
+#define ENTRY_DELAY 1
+#define ENTRY_SWITCH 2
+
+#define L2_MODE_LRU 0
+#define L2_MODE_FIFO 1
+#define L2_MODE_WAY 2
 
 /* Mark the first occurrence of every distinct value (open-addressing
  * hash set; values must be non-negative -- line addresses are).  The
@@ -86,6 +112,286 @@ static inline int bank_touch(double *bank_free, int64_t bank, double now,
     return conflict;
 }
 
+/* The whole memory system as flat state.  The persistent-handle tier
+ * mallocs one and keeps it across calls (the pointers reference
+ * numpy-owned arrays the Python side keeps alive); `walk_batch` builds
+ * a throwaway one on the stack per call. */
+typedef struct {
+    int64_t n_cpus;
+    int64_t l1_sets, l1_ways;
+    int64_t *l1_lines, *l1_owners;
+    uint8_t *l1_dirty;
+    int32_t *l1_len;
+    int64_t l2_sets, l2_ways, l2_mode, l2_mask;
+    int64_t *l2_lines, *l2_owners;
+    uint8_t *l2_dirty;
+    int32_t *l2_len;
+    int64_t *l2_stamp;      /* way mode: per-slot LRU stamps */
+    int64_t *way_clock;     /* way mode: 1-slot global clock */
+    /* DRAM */
+    int64_t bank_mask, bank_busy, dram_access, bank_penalty;
+    double *bank_free;
+    /* shared bus (mirrors repro.mem.bus.SharedBus) */
+    int64_t bus_transfer_cycles;
+    double bus_lines_per_cycle, bus_decay, bus_max_surcharge;
+    double *bus_demand, *bus_last;
+    int64_t *bus_transfers_total;   /* 1-slot accumulators, C-resident so  */
+    double *bus_surcharge_total;    /* float addition order matches the    */
+                                    /* reference exactly                   */
+    /* timing */
+    double issue_cpi;
+    int64_t l2_hit_cycles;
+} walker_state;
+
+/* Per-entry walk outcome (feeds the cycle formula and BatchResult). */
+typedef struct {
+    int64_t l1_misses;
+    int64_t store_fills;
+    int64_t dram_reads;
+    int64_t dram_writes;
+    int64_t read_conflicts;
+    int64_t write_conflicts;
+    int64_t transfers;
+} entry_tally;
+
+/* THE replay body: walk the runs [start, end) of one entry against the
+ * state.  The L1 is selected by cpu id; l2_mode picks the
+ * set-associative LRU/FIFO walk or the way-managed column cache (hit
+ * on any way, allocate only into the owner's columns, LRU by global
+ * stamp).  Both the stateless batch kernel and the segment walker call
+ * this -- there is exactly one copy of the replay semantics in C. */
+static void walk_entry_runs(
+    walker_state *st, int64_t cpu, int64_t start, int64_t end,
+    const int64_t *lines, const int64_t *l1_idx, const int64_t *l2_idx,
+    const uint8_t *write_any, const uint8_t *store_fill,
+    const int64_t *run_owners,
+    int64_t use_table, int64_t n_table,
+    const int64_t *table_base, const int64_t *table_size,
+    const uint8_t *table_pow2,
+    const int64_t *way_table, int64_t way_rows,
+    double now,
+    uint8_t *flags, int64_t *l1_victim_owner, int64_t *l2_victim_owner,
+    entry_tally *tally)
+{
+    const int64_t l1_ways = st->l1_ways;
+    const int64_t l2_ways = st->l2_ways;
+    const int64_t l2_mask = st->l2_mask;
+    const int64_t l2_mode = st->l2_mode;
+    int64_t *l1_lines = st->l1_lines + cpu * st->l1_sets * l1_ways;
+    int64_t *l1_owners = st->l1_owners + cpu * st->l1_sets * l1_ways;
+    uint8_t *l1_dirty = st->l1_dirty + cpu * st->l1_sets * l1_ways;
+    int32_t *l1_len = st->l1_len + cpu * st->l1_sets;
+
+    for (int64_t i = start; i < end; i++) {
+        int64_t line = lines[i];
+        int64_t si = l1_idx[i];
+        int64_t *row = l1_lines + si * l1_ways;
+        int32_t len = l1_len[si];
+        int64_t k;
+        uint8_t f = 0;
+        int write = write_any[i];
+
+        /* ---- L1 probe (always LRU) ----------------------------------- */
+        for (k = 0; k < len; k++) {
+            if (row[k] == line) break;
+        }
+        if (k < len) {
+            if (k > 0) {
+                int64_t *orow = l1_owners + si * l1_ways;
+                uint8_t *drow = l1_dirty + si * l1_ways;
+                int64_t own = orow[k];
+                uint8_t dir = drow[k];
+                memmove(row + 1, row, k * sizeof(int64_t));
+                memmove(orow + 1, orow, k * sizeof(int64_t));
+                memmove(drow + 1, drow, k * sizeof(uint8_t));
+                row[0] = line;
+                orow[0] = own;
+                drow[0] = dir;
+            }
+            if (write) l1_dirty[si * l1_ways] = 1;
+            flags[i] = 0;
+            continue;
+        }
+
+        /* ---- L1 miss + fill ------------------------------------------ */
+        f = FLAG_L1_MISS;
+        tally->l1_misses++;
+        tally->transfers++;
+        int64_t owner = run_owners[i];
+        int64_t *orow = l1_owners + si * l1_ways;
+        uint8_t *drow = l1_dirty + si * l1_ways;
+        int64_t wb_line = -1, wb_owner = 0;
+        if (len >= l1_ways) {
+            int64_t victim = row[len - 1];
+            f |= FLAG_L1_EVICT;
+            l1_victim_owner[i] = orow[len - 1];
+            if (drow[len - 1]) {
+                f |= FLAG_L1_WB;
+                wb_line = victim;
+                wb_owner = orow[len - 1];
+                tally->transfers++;
+            }
+            len--;
+        }
+        memmove(row + 1, row, len * sizeof(int64_t));
+        memmove(orow + 1, orow, len * sizeof(int64_t));
+        memmove(drow + 1, drow, len * sizeof(uint8_t));
+        row[0] = line;
+        orow[0] = owner;
+        drow[0] = (uint8_t)write;
+        l1_len[si] = len + 1;
+
+        /* ---- dirty L1 victim written back through the L2 ------------- */
+        if (wb_line >= 0) {
+            int64_t wb_si;
+            if (l2_mode == L2_MODE_WAY || !use_table) {
+                wb_si = wb_line & l2_mask;
+            } else {
+                int64_t r = wb_owner < n_table ? wb_owner : n_table;
+                int64_t size = table_size[r];
+                wb_si = table_base[r] + (table_pow2[r]
+                                             ? (wb_line & (size - 1))
+                                             : (wb_line % size));
+            }
+            int64_t *wrow = st->l2_lines + wb_si * l2_ways;
+            int64_t j, wlen;
+            wlen = l2_mode == L2_MODE_WAY ? l2_ways : st->l2_len[wb_si];
+            for (j = 0; j < wlen; j++) {
+                if (wrow[j] == wb_line) break;
+            }
+            if (j < wlen) {
+                /* probe_writeback: dirty in place, no recency change */
+                st->l2_dirty[wb_si * l2_ways + j] = 1;
+            } else {
+                tally->write_conflicts += bank_touch(
+                    st->bank_free, wb_line & st->bank_mask, now,
+                    st->bank_busy);
+                tally->dram_writes++;
+            }
+        }
+
+        /* ---- L2 probe (demand access or store fill) ------------------ */
+        int sfill = store_fill[i];
+        if (sfill) tally->store_fills++;
+        int64_t l2i = l2_idx[i];
+        int64_t *row2 = st->l2_lines + l2i * l2_ways;
+        int64_t *orow2 = st->l2_owners + l2i * l2_ways;
+        uint8_t *drow2 = st->l2_dirty + l2i * l2_ways;
+
+        if (l2_mode == L2_MODE_WAY) {
+            /* WayManagedCache.access: clock tick, hit on any way,
+             * allocate into the owner's columns only. */
+            int64_t *srow2 = st->l2_stamp + l2i * l2_ways;
+            int64_t clock = ++st->way_clock[0];
+            for (k = 0; k < l2_ways; k++) {
+                if (row2[k] == line) break;
+            }
+            if (k < l2_ways) {
+                srow2[k] = clock;
+                if (write) drow2[k] = 1;
+                flags[i] = f;
+                continue;
+            }
+            f |= FLAG_L2_PROBE_MISS;
+            const int64_t *ways_row =
+                way_table + (owner < way_rows ? owner : way_rows) * l2_ways;
+            int64_t victim_way = -1;
+            int64_t lru_way = -1, lru_stamp = 0;
+            for (k = 0; k < l2_ways; k++) {
+                int64_t w = ways_row[k];
+                if (w < 0) break;
+                if (row2[w] == -1) {
+                    victim_way = w;
+                    break;
+                }
+                if (lru_way < 0 || srow2[w] < lru_stamp) {
+                    lru_way = w;
+                    lru_stamp = srow2[w];
+                }
+            }
+            if (victim_way < 0) victim_way = lru_way;
+            if (row2[victim_way] != -1) {
+                f |= FLAG_L2_EVICT;
+                l2_victim_owner[i] = orow2[victim_way];
+                if (drow2[victim_way]) {
+                    f |= FLAG_L2_WB;
+                    tally->write_conflicts += bank_touch(
+                        st->bank_free, row2[victim_way] & st->bank_mask,
+                        now, st->bank_busy);
+                    tally->dram_writes++;
+                }
+            }
+            row2[victim_way] = line;
+            orow2[victim_way] = owner;
+            srow2[victim_way] = clock;
+            drow2[victim_way] = (uint8_t)write;
+            if (!sfill) {
+                f |= FLAG_L2_DEMAND_MISS;
+                tally->dram_reads++;
+                tally->read_conflicts += bank_touch(
+                    st->bank_free, line & st->bank_mask, now, st->bank_busy);
+            }
+            flags[i] = f;
+            continue;
+        }
+
+        /* set-associative L2 (LRU or FIFO) */
+        int32_t len2 = st->l2_len[l2i];
+        for (k = 0; k < len2; k++) {
+            if (row2[k] == line) break;
+        }
+        if (k < len2) {
+            if (l2_mode == L2_MODE_LRU && k > 0) {
+                int64_t own = orow2[k];
+                uint8_t dir = drow2[k];
+                memmove(row2 + 1, row2, k * sizeof(int64_t));
+                memmove(orow2 + 1, orow2, k * sizeof(int64_t));
+                memmove(drow2 + 1, drow2, k * sizeof(uint8_t));
+                row2[0] = line;
+                orow2[0] = own;
+                drow2[0] = dir;
+                k = 0;
+            }
+            if (write) drow2[k] = 1;
+            flags[i] = f;
+            continue;
+        }
+
+        f |= FLAG_L2_PROBE_MISS;
+        if (len2 >= l2_ways) {
+            f |= FLAG_L2_EVICT;
+            l2_victim_owner[i] = orow2[len2 - 1];
+            if (drow2[len2 - 1]) {
+                f |= FLAG_L2_WB;
+                int64_t victim = row2[len2 - 1];
+                tally->write_conflicts += bank_touch(
+                    st->bank_free, victim & st->bank_mask, now,
+                    st->bank_busy);
+                tally->dram_writes++;
+            }
+            len2--;
+        }
+        memmove(row2 + 1, row2, len2 * sizeof(int64_t));
+        memmove(orow2 + 1, orow2, len2 * sizeof(int64_t));
+        memmove(drow2 + 1, drow2, len2 * sizeof(uint8_t));
+        row2[0] = line;
+        orow2[0] = owner;
+        drow2[0] = (uint8_t)write;
+        st->l2_len[l2i] = len2 + 1;
+
+        if (!sfill) {
+            f |= FLAG_L2_DEMAND_MISS;
+            tally->dram_reads++;
+            tally->read_conflicts += bank_touch(
+                st->bank_free, line & st->bank_mask, now, st->bank_busy);
+        }
+        flags[i] = f;
+    }
+}
+
+/* The stateless per-batch kernel of the fast engine: one shot of the
+ * shared replay body over a stack-local state built from the caller's
+ * flattened single-L1, set-associative-L2 arrays. */
 void walk_batch(
     int64_t n_runs,
     const int64_t *lines, const int64_t *l1_idx, const int64_t *l2_idx,
@@ -112,152 +418,241 @@ void walk_batch(
     uint8_t *flags, int64_t *l1_victim_owner, int64_t *l2_victim_owner,
     int64_t *counters)
 {
+    walker_state st;
+    entry_tally tally = {0, 0, 0, 0, 0, 0, 0};
+    memset(&st, 0, sizeof st);
+    st.n_cpus = 1;
+    st.l1_ways = l1_ways;       /* l1_sets stays 0: cpu 0 offset is 0 */
+    st.l1_lines = l1_lines;
+    st.l1_owners = l1_owners;
+    st.l1_dirty = l1_dirty;
+    st.l1_len = l1_len;
+    st.l2_ways = l2_ways;
+    st.l2_mode = l2_is_lru ? L2_MODE_LRU : L2_MODE_FIFO;
+    st.l2_mask = l2_mask;
+    st.l2_lines = l2_lines;
+    st.l2_owners = l2_owners;
+    st.l2_dirty = l2_dirty;
+    st.l2_len = l2_len;
+    st.bank_mask = bank_mask;
+    st.bank_busy = bank_busy;
+    st.bank_free = bank_free;
+    walk_entry_runs(
+        &st, 0, 0, n_runs,
+        lines, l1_idx, l2_idx, write_any, store_fill, run_owners,
+        use_table, n_table, table_base, table_size, table_pow2,
+        NULL, 0, now,
+        flags, l1_victim_owner, l2_victim_owner, &tally);
+    counters[0] = tally.dram_writes;
+    counters[1] = tally.read_conflicts;
+    counters[2] = tally.write_conflicts;
+}
+
+/* ====================================================================
+ * Schedule-compiled tier: persistent state handle + whole-segment walk
+ * ====================================================================
+ *
+ * A walker_state aggregates pointers into numpy-owned arrays (the
+ * Python side keeps them alive for the handle's lifetime) plus the
+ * scalar model parameters.  Nothing is copied: the arrays ARE the
+ * authoritative cache/bank/bus state between calls, which is what
+ * removes the per-batch marshalling cost of `walk_batch`.
+ *
+ * `walk_segment` executes an ordered sequence of schedule entries --
+ * compute batches, pure delays, context-switch traffic -- advancing a
+ * local clock entry by entry exactly as the event-driven reference
+ * would, and stops early at a foreign-event horizon or on quantum
+ * expiry so the caller can hand control back to the simulation kernel
+ * with bit-identical interleaving.  Statistics are again flag-based:
+ * the caller reduces the per-run flag/victim outputs with numpy.
+ */
+
+void *walker_state_new(
+    int64_t n_cpus,
+    int64_t l1_sets, int64_t l1_ways,
+    int64_t *l1_lines, int64_t *l1_owners, uint8_t *l1_dirty,
+    int32_t *l1_len,
+    int64_t l2_sets, int64_t l2_ways, int64_t l2_mode,
+    int64_t *l2_lines, int64_t *l2_owners, uint8_t *l2_dirty,
+    int32_t *l2_len,
+    int64_t *l2_stamp, int64_t *way_clock,
+    int64_t bank_mask, int64_t bank_busy, int64_t dram_access,
+    int64_t bank_penalty, double *bank_free,
+    int64_t bus_transfer_cycles, double bus_lines_per_cycle,
+    double bus_decay, double bus_max_surcharge,
+    double *bus_demand, double *bus_last,
+    int64_t *bus_transfers_total, double *bus_surcharge_total,
+    double issue_cpi, int64_t l2_hit_cycles)
+{
+    walker_state *st = (walker_state *)malloc(sizeof(walker_state));
+    if (st == NULL) return NULL;
+    st->n_cpus = n_cpus;
+    st->l1_sets = l1_sets;
+    st->l1_ways = l1_ways;
+    st->l1_lines = l1_lines;
+    st->l1_owners = l1_owners;
+    st->l1_dirty = l1_dirty;
+    st->l1_len = l1_len;
+    st->l2_sets = l2_sets;
+    st->l2_ways = l2_ways;
+    st->l2_mode = l2_mode;
+    st->l2_mask = l2_sets - 1;
+    st->l2_lines = l2_lines;
+    st->l2_owners = l2_owners;
+    st->l2_dirty = l2_dirty;
+    st->l2_len = l2_len;
+    st->l2_stamp = l2_stamp;
+    st->way_clock = way_clock;
+    st->bank_mask = bank_mask;
+    st->bank_busy = bank_busy;
+    st->dram_access = dram_access;
+    st->bank_penalty = bank_penalty;
+    st->bank_free = bank_free;
+    st->bus_transfer_cycles = bus_transfer_cycles;
+    st->bus_lines_per_cycle = bus_lines_per_cycle;
+    st->bus_decay = bus_decay;
+    st->bus_max_surcharge = bus_max_surcharge;
+    st->bus_demand = bus_demand;
+    st->bus_last = bus_last;
+    st->bus_transfers_total = bus_transfers_total;
+    st->bus_surcharge_total = bus_surcharge_total;
+    st->issue_cpi = issue_cpi;
+    st->l2_hit_cycles = l2_hit_cycles;
+    return st;
+}
+
+void walker_state_free(void *state) {
+    free(state);
+}
+
+/* SharedBus.price_transfers, term for term (same exp(), same addition
+ * order over CPUs, same truncation), accumulating the totals into the
+ * C-resident slots so the running float sums match the reference. */
+static int64_t bus_price(walker_state *st, int64_t cpu, int64_t n,
+                         double now) {
+    if (n <= 0) return 0;
+    double other_rate = 0.0;
+    for (int64_t c = 0; c < st->n_cpus; c++) {
+        double elapsed, decayed;
+        if (c == cpu) continue;
+        elapsed = now - st->bus_last[c];
+        if (elapsed < 0.0) elapsed = 0.0;
+        decayed = st->bus_demand[c] * exp(-elapsed / st->bus_decay);
+        other_rate += decayed / st->bus_decay;
+    }
+    double utilisation = other_rate / st->bus_lines_per_cycle;
+    if (utilisation > 1.0) utilisation = 1.0;
+    double surcharge = utilisation < st->bus_max_surcharge
+                           ? utilisation : st->bus_max_surcharge;
+    int64_t base = n * st->bus_transfer_cycles;
+    double extra = (double)base * surcharge;
+    {
+        double elapsed = now - st->bus_last[cpu];
+        if (elapsed < 0.0) elapsed = 0.0;
+        st->bus_demand[cpu] =
+            st->bus_demand[cpu] * exp(-elapsed / st->bus_decay) + (double)n;
+        st->bus_last[cpu] = now;
+    }
+    st->bus_transfers_total[0] += n;
+    st->bus_surcharge_total[0] += extra;
+    return (int64_t)((double)base + extra);
+}
+
+/* Execute up to n_entries schedule entries; returns how many ran.
+ *
+ * Entry kinds: ENTRY_COMPUTE walks its runs and advances the clock by
+ * the computed cycle cost; ENTRY_DELAY advances by entry_advance[e]
+ * without touching memory; ENTRY_SWITCH walks its runs (context-switch
+ * TCB traffic) but advances by the fixed entry_advance[e] and does not
+ * count against the quantum -- exactly the CPU runner's dispatch path.
+ *
+ * Early exit, checked before starting entry e >= 1 (entry 0 always
+ * runs -- the caller was just resumed and acts before anyone else):
+ * - horizon: once any simulated time has elapsed, no entry may start
+ *   at or after the earliest foreign event (`now >= horizon`); the
+ *   pending entries are handed back so the event kernel interleaves
+ *   them bit-identically with the other actors.
+ * - quantum: with use_quantum set (the ready queue was non-empty when
+ *   the segment was collected, and it cannot change before `horizon`),
+ *   stop once the accumulated compute/delay cycles exhaust it --
+ *   the runner's round-robin preemption point.
+ */
+int64_t walk_segment(
+    void *state_ptr,
+    int64_t n_entries,
+    const int64_t *entry_kind, const int64_t *entry_cpu,
+    const int64_t *entry_start, const int64_t *entry_end,
+    const int64_t *entry_instr, const int64_t *entry_advance,
+    const int64_t *lines, const int64_t *l1_idx, const int64_t *l2_idx,
+    const uint8_t *write_any, const uint8_t *store_fill,
+    const int64_t *run_owners,
+    int64_t use_table, int64_t n_table,
+    const int64_t *table_base, const int64_t *table_size,
+    const uint8_t *table_pow2,
+    const int64_t *way_table, int64_t way_rows,
+    double now, double horizon,
+    int64_t quantum, int64_t use_quantum,
+    uint8_t *flags, int64_t *l1_victim_owner, int64_t *l2_victim_owner,
+    int64_t *out_cycles, int64_t *out_l1_misses, int64_t *out_l2_misses,
+    int64_t *out_dram_lines, int64_t *out_bus_cycles,
+    int64_t *out_store_fills,
+    int64_t *counters)
+{
+    walker_state *st = (walker_state *)state_ptr;
     int64_t dram_writes = 0, read_conflicts = 0, write_conflicts = 0;
+    int64_t elapsed = 0;
+    int64_t e;
 
-    for (int64_t i = 0; i < n_runs; i++) {
-        int64_t line = lines[i];
-        int64_t si = l1_idx[i];
-        int64_t *row = l1_lines + si * l1_ways;
-        int32_t len = l1_len[si];
-        int64_t k;
-        uint8_t f = 0;
-        int write = write_any[i];
-
-        /* ---- L1 probe ------------------------------------------------ */
-        for (k = 0; k < len; k++) {
-            if (row[k] == line) break;
+    for (e = 0; e < n_entries; e++) {
+        if (e > 0) {
+            if (elapsed > 0 && now >= horizon) break;
+            if (use_quantum && quantum <= 0) break;
         }
-        if (k < len) {
-            /* Hit: LRU rotation of the slot triple to position 0. */
-            if (k > 0) {
-                int64_t *orow = l1_owners + si * l1_ways;
-                uint8_t *drow = l1_dirty + si * l1_ways;
-                int64_t own = orow[k];
-                uint8_t dir = drow[k];
-                memmove(row + 1, row, k * sizeof(int64_t));
-                memmove(orow + 1, orow, k * sizeof(int64_t));
-                memmove(drow + 1, drow, k * sizeof(uint8_t));
-                row[0] = line;
-                orow[0] = own;
-                drow[0] = dir;
-            }
-            if (write) l1_dirty[si * l1_ways] = 1;
-            flags[i] = 0;
-            continue;
+        int64_t kind = entry_kind[e];
+        int64_t cycles, advance;
+        if (kind == ENTRY_DELAY) {
+            cycles = entry_advance[e];
+            advance = cycles;
+            out_cycles[e] = cycles;
+            out_l1_misses[e] = 0;
+            out_l2_misses[e] = 0;
+            out_dram_lines[e] = 0;
+            out_bus_cycles[e] = 0;
+            out_store_fills[e] = 0;
+        } else {
+            entry_tally tally = {0, 0, 0, 0, 0, 0, 0};
+            walk_entry_runs(
+                st, entry_cpu[e], entry_start[e], entry_end[e],
+                lines, l1_idx, l2_idx, write_any, store_fill, run_owners,
+                use_table, n_table, table_base, table_size, table_pow2,
+                way_table, way_rows, now,
+                flags, l1_victim_owner, l2_victim_owner, &tally);
+            int64_t stall =
+                (tally.l1_misses - tally.store_fills) * st->l2_hit_cycles
+                + tally.dram_reads * st->dram_access
+                + tally.read_conflicts * st->bank_penalty;
+            int64_t bus = bus_price(st, entry_cpu[e], tally.transfers, now);
+            cycles = (int64_t)llrint(
+                         (double)entry_instr[e] * st->issue_cpi)
+                     + stall + bus;
+            advance = kind == ENTRY_SWITCH ? entry_advance[e] : cycles;
+            out_cycles[e] = cycles;
+            out_l1_misses[e] = tally.l1_misses;
+            out_l2_misses[e] = tally.dram_reads;
+            out_dram_lines[e] = tally.dram_reads + tally.dram_writes;
+            out_bus_cycles[e] = bus;
+            out_store_fills[e] = tally.store_fills;
+            dram_writes += tally.dram_writes;
+            read_conflicts += tally.read_conflicts;
+            write_conflicts += tally.write_conflicts;
         }
-
-        /* ---- L1 miss + fill ------------------------------------------ */
-        f = FLAG_L1_MISS;
-        int64_t owner = run_owners[i];
-        int64_t *orow = l1_owners + si * l1_ways;
-        uint8_t *drow = l1_dirty + si * l1_ways;
-        int64_t wb_line = -1, wb_owner = 0;
-        if (len >= l1_ways) {
-            int64_t victim = row[len - 1];
-            f |= FLAG_L1_EVICT;
-            l1_victim_owner[i] = orow[len - 1];
-            if (drow[len - 1]) {
-                f |= FLAG_L1_WB;
-                wb_line = victim;
-                wb_owner = orow[len - 1];
-            }
-            len--;
-        }
-        memmove(row + 1, row, len * sizeof(int64_t));
-        memmove(orow + 1, orow, len * sizeof(int64_t));
-        memmove(drow + 1, drow, len * sizeof(uint8_t));
-        row[0] = line;
-        orow[0] = owner;
-        drow[0] = (uint8_t)write;
-        l1_len[si] = len + 1;
-
-        /* ---- dirty L1 victim written back through the L2 ------------- */
-        if (wb_line >= 0) {
-            int64_t wb_si;
-            if (use_table) {
-                int64_t r = wb_owner < n_table ? wb_owner : n_table;
-                int64_t size = table_size[r];
-                wb_si = table_base[r] + (table_pow2[r]
-                                             ? (wb_line & (size - 1))
-                                             : (wb_line % size));
-            } else {
-                wb_si = wb_line & l2_mask;
-            }
-            int64_t *wrow = l2_lines + wb_si * l2_ways;
-            int32_t wlen = l2_len[wb_si];
-            int64_t j;
-            for (j = 0; j < wlen; j++) {
-                if (wrow[j] == wb_line) break;
-            }
-            if (j < wlen) {
-                /* probe_writeback: update in place, no recency change */
-                l2_dirty[wb_si * l2_ways + j] = 1;
-            } else {
-                write_conflicts +=
-                    bank_touch(bank_free, wb_line & bank_mask, now, bank_busy);
-                dram_writes++;
-            }
-        }
-
-        /* ---- L2 probe (demand access or store fill) ------------------ */
-        int sfill = store_fill[i];
-        int64_t l2i = l2_idx[i];
-        int64_t *row2 = l2_lines + l2i * l2_ways;
-        int64_t *orow2 = l2_owners + l2i * l2_ways;
-        uint8_t *drow2 = l2_dirty + l2i * l2_ways;
-        int32_t len2 = l2_len[l2i];
-        for (k = 0; k < len2; k++) {
-            if (row2[k] == line) break;
-        }
-        if (k < len2) {
-            /* L2 hit (FIFO keeps its order; LRU rotates to MRU). */
-            if (l2_is_lru && k > 0) {
-                int64_t own = orow2[k];
-                uint8_t dir = drow2[k];
-                memmove(row2 + 1, row2, k * sizeof(int64_t));
-                memmove(orow2 + 1, orow2, k * sizeof(int64_t));
-                memmove(drow2 + 1, drow2, k * sizeof(uint8_t));
-                row2[0] = line;
-                orow2[0] = own;
-                drow2[0] = dir;
-                k = 0;
-            }
-            if (write) drow2[k] = 1;
-            flags[i] = f;
-            continue;
-        }
-
-        /* L2 miss: store fills allocate but fetch nothing. */
-        f |= FLAG_L2_PROBE_MISS;
-        if (len2 >= l2_ways) {
-            f |= FLAG_L2_EVICT;
-            l2_victim_owner[i] = orow2[len2 - 1];
-            if (drow2[len2 - 1]) {
-                f |= FLAG_L2_WB;
-                int64_t victim = row2[len2 - 1];
-                write_conflicts +=
-                    bank_touch(bank_free, victim & bank_mask, now, bank_busy);
-                dram_writes++;
-            }
-            len2--;
-        }
-        memmove(row2 + 1, row2, len2 * sizeof(int64_t));
-        memmove(orow2 + 1, orow2, len2 * sizeof(int64_t));
-        memmove(drow2 + 1, drow2, len2 * sizeof(uint8_t));
-        row2[0] = line;
-        orow2[0] = owner;
-        drow2[0] = (uint8_t)write;
-        l2_len[l2i] = len2 + 1;
-
-        if (!sfill) {
-            f |= FLAG_L2_DEMAND_MISS;
-            read_conflicts +=
-                bank_touch(bank_free, line & bank_mask, now, bank_busy);
-        }
-        flags[i] = f;
+        now += (double)advance;
+        elapsed += advance;
+        if (kind != ENTRY_SWITCH) quantum -= cycles;
     }
 
     counters[0] = dram_writes;
     counters[1] = read_conflicts;
     counters[2] = write_conflicts;
+    return e;
 }

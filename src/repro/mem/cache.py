@@ -556,5 +556,62 @@ class WayManagedCache:
         """Reset the cold-miss classifier."""
         self._seen.clear()
 
+    # -- bulk state exchange with the compiled walker ------------------------
+
+    def export_state(self):
+        """Flatten the contents to parallel arrays for the C walker.
+
+        Returns ``(lines, owners, dirty, stamps, clock)``: per set,
+        ``ways`` explicit slots (empty slots hold line -1), the
+        recency stamps, and the global stamp clock.  Empty slots carry
+        stamp 0 -- which is exactly their reference value, since slots
+        only start empty or become empty through :meth:`invalidate_all`
+        (both reset stamps to 0) and victim selection never reads the
+        stamp of an empty slot.
+        """
+        geometry = self.geometry
+        ways = geometry.ways
+        n_slots = geometry.sets * ways
+        lines = np.full(n_slots, -1, dtype=np.int64)
+        owners = np.zeros(n_slots, dtype=np.int64)
+        dirty = np.zeros(n_slots, dtype=np.uint8)
+        stamps = np.zeros(n_slots, dtype=np.int64)
+        dirty_set = self._dirty
+        for set_index, slot_lines in enumerate(self._line):
+            base = set_index * ways
+            owner_row = self._owner[set_index]
+            stamp_row = self._stamp[set_index]
+            for way, line in enumerate(slot_lines):
+                if line is None:
+                    continue
+                lines[base + way] = line
+                owners[base + way] = owner_row[way]
+                stamps[base + way] = stamp_row[way]
+                if line in dirty_set:
+                    dirty[base + way] = 1
+        return lines, owners, dirty, stamps, self._clock
+
+    def import_state(self, lines, owners, dirty, stamps, clock) -> None:
+        """Rebuild the slot state from :meth:`export_state` arrays."""
+        ways = self.geometry.ways
+        lines_l = lines.tolist()
+        owners_l = owners.tolist()
+        dirty_l = dirty.tolist()
+        stamps_l = stamps.tolist()
+        dirty_set: set = set()
+        for set_index in range(self.geometry.sets):
+            base = set_index * ways
+            self._line[set_index] = [
+                None if lines_l[base + way] == -1 else lines_l[base + way]
+                for way in range(ways)
+            ]
+            self._owner[set_index] = owners_l[base:base + ways]
+            self._stamp[set_index] = stamps_l[base:base + ways]
+            for way in range(ways):
+                if dirty_l[base + way]:
+                    dirty_set.add(lines_l[base + way])
+        self._dirty = dirty_set
+        self._clock = int(clock)
+
     def __repr__(self) -> str:
         return f"<WayManagedCache {self.name!r} {self.geometry}>"

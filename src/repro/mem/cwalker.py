@@ -26,7 +26,8 @@ from typing import Optional
 
 __all__ = ["load", "FLAG_L1_MISS", "FLAG_L2_DEMAND_MISS", "FLAG_L1_EVICT",
            "FLAG_L2_EVICT", "FLAG_L1_WB", "FLAG_L2_WB",
-           "FLAG_L2_PROBE_MISS"]
+           "FLAG_L2_PROBE_MISS", "ENTRY_COMPUTE", "ENTRY_DELAY",
+           "ENTRY_SWITCH", "L2_MODE_LRU", "L2_MODE_FIFO", "L2_MODE_WAY"]
 
 #: Flag bits emitted per run; must match ``_walker.c``.
 FLAG_L1_MISS = 1
@@ -70,7 +71,8 @@ def _compile() -> Optional[str]:
         os.makedirs(_BUILD_DIR, exist_ok=True)
         tmp_path = so_path + f".tmp{os.getpid()}"
         subprocess.run(
-            [compiler, "-O2", "-shared", "-fPIC", "-o", tmp_path, _SOURCE],
+            [compiler, "-O2", "-shared", "-fPIC", "-o", tmp_path, _SOURCE,
+             "-lm"],
             check=True,
             capture_output=True,
             timeout=120,
@@ -81,12 +83,34 @@ def _compile() -> Optional[str]:
     return so_path
 
 
-class CWalker:
-    """Bound routines of the compiled walker library."""
+#: Schedule-entry kinds accepted by ``walk_segment``; must match
+#: ``_walker.c``.
+ENTRY_COMPUTE = 0
+ENTRY_DELAY = 1
+ENTRY_SWITCH = 2
 
-    def __init__(self, walk_batch, first_occurrence):
+#: L2 organisations of the persistent state handle.
+L2_MODE_LRU = 0
+L2_MODE_FIFO = 1
+L2_MODE_WAY = 2
+
+
+class CWalker:
+    """Bound routines of the compiled walker library.
+
+    ``walk_batch`` / ``first_occurrence`` serve the stateless fast
+    tier; ``state_new`` / ``state_free`` / ``walk_segment`` are the
+    schedule-compiled tier's persistent-handle API (see
+    :mod:`repro.mem.hierarchy`).
+    """
+
+    def __init__(self, walk_batch, first_occurrence,
+                 state_new, state_free, walk_segment):
         self.walk_batch = walk_batch
         self.first_occurrence = first_occurrence
+        self.state_new = state_new
+        self.state_free = state_free
+        self.walk_segment = walk_segment
 
 
 def load() -> Optional[CWalker]:
@@ -109,9 +133,13 @@ def load() -> Optional[CWalker]:
         lib = ctypes.CDLL(so_path)
         walk = lib.walk_batch
         first = lib.first_occurrence
+        state_new = lib.walker_state_new
+        state_free = lib.walker_state_free
+        segment = lib.walk_segment
     except (OSError, AttributeError):
         return None
     i64 = ctypes.c_int64
+    f64 = ctypes.c_double
     p_i64 = ctypes.POINTER(ctypes.c_int64)
     p_i32 = ctypes.POINTER(ctypes.c_int32)
     p_u8 = ctypes.POINTER(ctypes.c_uint8)
@@ -134,6 +162,47 @@ def load() -> Optional[CWalker]:
         p_i64,                    # counters[3]
     ]
     first.restype = ctypes.c_int
-    first.argtypes = [p_i64, i64, p_u8]
-    _walker = CWalker(walk, first)
+    first.argtypes = [ctypes.c_void_p, i64, ctypes.c_void_p]
+    # Pointer arguments are declared as c_void_p and passed as raw
+    # ``ndarray.ctypes.data`` integers: the segment walker runs per
+    # schedule step, where building typed ctypes pointers per argument
+    # measurably dominates small calls.
+    ptr = ctypes.c_void_p
+    state_new.restype = ctypes.c_void_p
+    state_new.argtypes = [
+        i64,                        # n_cpus
+        i64, i64,                   # l1 sets/ways
+        ptr, ptr, ptr, ptr,         # L1 lines/owners/dirty/len (all cpus)
+        i64, i64, i64,              # l2 sets/ways/mode
+        ptr, ptr, ptr, ptr,         # L2 lines/owners/dirty/len
+        ptr, ptr,                   # l2 stamps, way clock slot
+        i64, i64, i64, i64, ptr,    # bank mask/busy/access/penalty, banks
+        i64, f64, f64, f64,         # bus transfer/lines-per-cycle/decay/cap
+        ptr, ptr,                   # bus demand / last-update
+        ptr, ptr,                   # bus transfers / surcharge totals
+        f64, i64,                   # issue_cpi, l2_hit_cycles
+    ]
+    state_free.restype = None
+    state_free.argtypes = [ctypes.c_void_p]
+    segment.restype = i64
+    segment.argtypes = [
+        ctypes.c_void_p,            # state
+        i64,                        # n_entries
+        ptr, ptr,                   # entry kind / cpu
+        ptr, ptr,                   # entry run ranges [start, end)
+        ptr, ptr,                   # entry instructions / fixed advance
+        ptr, ptr, ptr,              # lines, l1_idx, l2_idx
+        ptr, ptr,                   # write_any, store_fill
+        ptr,                        # run_owners
+        i64, i64,                   # use_table, n_table
+        ptr, ptr, ptr,              # table base/size/pow2
+        ptr, i64,                   # way allocation table, way_rows
+        f64, f64,                   # now, horizon
+        i64, i64,                   # quantum, use_quantum
+        ptr, ptr, ptr,              # flags, l1/l2 victim owners
+        ptr, ptr, ptr,              # per-entry cycles/l1_misses/l2_misses
+        ptr, ptr, ptr,              # per-entry dram_lines/bus/store_fills
+        ptr,                        # counters[3]
+    ]
+    _walker = CWalker(walk, first, state_new, state_free, segment)
     return _walker

@@ -18,7 +18,7 @@ per run, with the run length counted as accesses.  L1 and L2 must share
 a line size for the run semantics to be exact; the constructor enforces
 this.
 
-Two engines implement the walk:
+Three engines implement the walk:
 
 - ``engine="reference"`` -- one method call per run into the cache
   models.  Slow but obviously faithful; it is the differential-testing
@@ -29,21 +29,37 @@ Two engines implement the walk:
   state inlined as local dicts/lists, and defers all per-owner
   statistics to a batched ``bincount`` flush after the walk.  Pure
   L1-hit runs cost a single dict probe; only L1-miss runs enter the
-  larger slow path.  The two engines produce bit-identical statistics,
-  which the differential test suite asserts.
+  larger slow path.  Batches above :data:`_C_WALK_THRESHOLD` runs go
+  through the stateless C kernel, which marshals the full cache state
+  per call.
+- ``engine="compiled"`` -- the schedule-compiled tier.  A persistent
+  C-side state handle (:class:`_CompiledState`) keeps every L1, the
+  shared L2 (including the way-partitioned column cache), the DRAM
+  bank timers and the bus demand model resident between calls, so
+  batches of *any* size run in C, and :meth:`MemorySystem.
+  execute_segment` prices a whole ordered schedule segment --
+  ``(cpu, owner, batch)`` entries plus delays and context-switch
+  traffic -- in a single C call.  Degrades to ``fast`` when no C
+  compiler is available.
 
-The fast engine silently falls back to the reference walk for the rare
-configurations it does not specialise (a ``random`` L2 replacement
-policy, or negative owner ids).
+All engines produce bit-identical statistics, which the differential
+test suite asserts.  The fast and compiled engines silently fall back
+for the rare configurations they do not specialise: a ``random`` L2
+stays in the Python fast walker (which replays the reference RNG
+stream draw for draw), and a negative owner id degrades the system to
+the reference walk for good -- the owner registry never produces one,
+and once such lines are resident their evictions would poison the
+vectorised statistics flush.
 """
 
 from __future__ import annotations
 
 import ctypes
 import gc
+import math
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -60,11 +76,14 @@ from repro.mem.partition import (
 )
 from repro.mem.trace import AccessBatch
 
-__all__ = ["BatchResult", "HierarchyConfig", "MemorySystem"]
+__all__ = ["BatchResult", "HierarchyConfig", "MemorySystem", "SegmentEntry"]
 
 #: Below this many runs the per-batch cache-state marshalling of the C
 #: walker costs more than the Python walk it saves.
 _C_WALK_THRESHOLD = 4096
+
+#: Shared empty owner list for the no-event stats flush.
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
 
 
 @dataclass(frozen=True)
@@ -84,9 +103,13 @@ class HierarchyConfig:
     dram: DramConfig = field(default_factory=DramConfig)
     bus: BusConfig = field(default_factory=BusConfig)
     l2_policy: str = "lru"
-    #: ``"fast"`` (vectorised walker, the default) or ``"reference"``
-    #: (per-run method calls; the differential-testing oracle).
+    #: ``"fast"`` (vectorised walker, the default), ``"reference"``
+    #: (per-run method calls; the differential-testing oracle) or
+    #: ``"compiled"`` (persistent C state + whole-segment batches; see
+    #: the module docstring).
     engine: str = "fast"
+
+    ENGINES = ("reference", "fast", "compiled")
 
     def __post_init__(self) -> None:
         if self.l1_geometry.line_size != self.l2_geometry.line_size:
@@ -97,9 +120,10 @@ class HierarchyConfig:
             raise ConfigurationError("issue_cpi must be positive")
         if self.l2_hit_cycles < 0:
             raise ConfigurationError("l2_hit_cycles must be >= 0")
-        if self.engine not in ("reference", "fast"):
+        if self.engine not in self.ENGINES:
             raise ConfigurationError(
-                f"engine must be 'reference' or 'fast', got {self.engine!r}"
+                f"engine must be one of {', '.join(self.ENGINES)}, "
+                f"got {self.engine!r}"
             )
 
 
@@ -128,6 +152,236 @@ class BatchResult:
         self.dram_lines += other.dram_lines
         self.bus_cycles += other.bus_cycles
         self.store_fills += other.store_fills
+
+
+class SegmentEntry:
+    """One step of a schedule segment (see :meth:`MemorySystem.execute_segment`).
+
+    A segment is an *ordered* sequence of deterministic schedule steps:
+    compute batches, pure delays, and context-switch traffic.  Each
+    entry advances a local clock -- compute entries by their computed
+    cycle cost, delay and switch entries by a fixed ``advance`` -- so a
+    whole stretch of a CPU's schedule prices in one call with the same
+    per-step timestamps the event-driven loop would produce.
+    """
+
+    COMPUTE = cwalker.ENTRY_COMPUTE
+    DELAY = cwalker.ENTRY_DELAY
+    SWITCH = cwalker.ENTRY_SWITCH
+
+    __slots__ = ("kind", "cpu_id", "owner", "batch", "advance")
+
+    def __init__(self, kind, cpu_id=0, owner=0, batch=None, advance=0):
+        self.kind = kind
+        self.cpu_id = cpu_id
+        self.owner = owner
+        self.batch = batch
+        self.advance = advance
+
+    @classmethod
+    def compute(cls, cpu_id: int, owner: int, batch: AccessBatch):
+        """A compute batch; the clock advances by its cycle cost."""
+        return cls(cls.COMPUTE, cpu_id=cpu_id, owner=owner, batch=batch)
+
+    @classmethod
+    def delay(cls, cycles: int):
+        """A pure delay: no memory traffic, fixed clock advance."""
+        return cls(cls.DELAY, advance=cycles)
+
+    @classmethod
+    def switch(cls, cpu_id: int, owner: int, batch: AccessBatch,
+               cycles: int):
+        """Context-switch traffic: the TCB batch walks (caches, bus and
+        DRAM advance) but the clock moves by the RTOS's fixed switch
+        cost and the quantum is not charged -- the dispatch path of the
+        CPU runner."""
+        return cls(cls.SWITCH, cpu_id=cpu_id, owner=owner, batch=batch,
+                   advance=cycles)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        names = {self.COMPUTE: "compute", self.DELAY: "delay",
+                 self.SWITCH: "switch"}
+        return (
+            f"<SegmentEntry {names[self.kind]} cpu={self.cpu_id} "
+            f"owner={self.owner} advance={self.advance}>"
+        )
+
+
+class _CompiledState:
+    """Persistent C-side state of one :class:`MemorySystem`.
+
+    Owns the numpy arrays the C handle points into (cache contents of
+    every level, DRAM bank timers, bus demand/totals) and the opaque
+    ``walker_state`` capsule built over them.  Between calls the arrays
+    *are* the authoritative cache state; :meth:`sync_down` materialises
+    them back into the Python cache models when something needs the
+    dict/list view (repartitioning, tests, diagnostics).  Per-owner
+    statistics stay on the Python side -- the segment walk emits
+    per-run flags that :meth:`MemorySystem.execute_segment` reduces
+    with the same bincount flush the fast engine uses.
+    """
+
+    def __init__(self, mem: "MemorySystem", walker):
+        self.walker = walker
+        config = mem.config
+        n_cpus = mem.n_cpus
+        l1_geometry = config.l1_geometry
+        l2_geometry = config.l2_geometry
+        self.l1_sets = l1_geometry.sets
+        self.l1_ways = l1_geometry.ways
+
+        l1_parts = [l1.export_state() for l1 in mem.l1s]
+        self.l1_lines = np.concatenate([p[0] for p in l1_parts])
+        self.l1_owners = np.concatenate([p[1] for p in l1_parts])
+        self.l1_dirty = np.concatenate([p[2] for p in l1_parts])
+        self.l1_len = np.concatenate([p[3] for p in l1_parts])
+
+        if mem.l2 is not None:
+            lines, owners, dirty, lens = mem.l2.export_state()
+            stamps = np.zeros(1, dtype=np.int64)
+            clock = 0
+            mode = (
+                cwalker.L2_MODE_LRU if mem.l2.policy == "lru"
+                else cwalker.L2_MODE_FIFO
+            )
+        else:
+            lines, owners, dirty, stamps, clock = mem.l2_way.export_state()
+            lens = np.zeros(l2_geometry.sets, dtype=np.int32)
+            mode = cwalker.L2_MODE_WAY
+        self.l2_mode = mode
+        self.l2_lines = lines
+        self.l2_owners = owners
+        self.l2_dirty = dirty
+        self.l2_len = lens
+        self.l2_stamp = stamps
+        self.way_clock = np.array([clock], dtype=np.int64)
+
+        dram = config.dram
+        bank_free = mem.memory._bank_free_at
+        self.bank_free = np.array(
+            [bank_free.get(b, 0.0) for b in range(dram.n_banks)],
+            dtype=np.float64,
+        )
+
+        bus = mem.bus
+        self.bus_demand = np.array(
+            [bus._demand[c] for c in range(n_cpus)], dtype=np.float64
+        )
+        self.bus_last = np.array(
+            [bus._last_update[c] for c in range(n_cpus)], dtype=np.float64
+        )
+        self.bus_transfers = np.array([bus.total_transfers], dtype=np.int64)
+        self.bus_surcharge = np.array(
+            [bus.total_surcharge_cycles], dtype=np.float64
+        )
+
+        handle = walker.state_new(
+            n_cpus,
+            l1_geometry.sets, l1_geometry.ways,
+            self.l1_lines.ctypes.data, self.l1_owners.ctypes.data,
+            self.l1_dirty.ctypes.data, self.l1_len.ctypes.data,
+            l2_geometry.sets, l2_geometry.ways, mode,
+            self.l2_lines.ctypes.data, self.l2_owners.ctypes.data,
+            self.l2_dirty.ctypes.data, self.l2_len.ctypes.data,
+            self.l2_stamp.ctypes.data, self.way_clock.ctypes.data,
+            dram.n_banks - 1, dram.bank_busy_cycles,
+            dram.access_cycles, dram.bank_penalty_cycles,
+            self.bank_free.ctypes.data,
+            config.bus.transfer_cycles, config.bus.lines_per_cycle,
+            config.bus.decay_cycles, config.bus.max_surcharge,
+            self.bus_demand.ctypes.data, self.bus_last.ctypes.data,
+            self.bus_transfers.ctypes.data, self.bus_surcharge.ctypes.data,
+            config.issue_cpi, config.l2_hit_cycles,
+        )
+        if not handle:
+            raise MemoryError("walker_state_new failed")
+        self.handle = ctypes.c_void_p(handle)
+
+        # Reusable per-call scratch (the segment walker runs per
+        # schedule step; allocating outputs per call dominates small
+        # segments).  Flags/victim slots need no zeroing between calls:
+        # the C walker assigns them for every executed run, and the
+        # flush only reads up to the last executed run.
+        self._entry_capacity = 0
+        self._run_capacity = 0
+        self._entry_scratch: tuple = ()
+        self._run_scratch: tuple = ()
+        self.counters = np.zeros(3, dtype=np.int64)
+        self._no_table = (
+            np.zeros(1, dtype=np.int64),
+            np.ones(1, dtype=np.int64),
+            np.ones(1, dtype=np.uint8),
+        )
+
+    def entry_scratch(self, n: int) -> tuple:
+        """Twelve per-entry int64 arrays (plus their raw addresses)."""
+        if n > self._entry_capacity or not self._entry_scratch:
+            self._entry_capacity = max(2 * n, 64)
+            arrays = tuple(
+                np.zeros(self._entry_capacity, dtype=np.int64)
+                for _ in range(12)
+            )
+            self._entry_scratch = (
+                arrays, tuple(a.ctypes.data for a in arrays)
+            )
+        return self._entry_scratch
+
+    def run_scratch(self, n: int) -> tuple:
+        """Per-run ``(flags, l1_victim, l2_victim)`` plus addresses."""
+        if n > self._run_capacity or not self._run_scratch:
+            self._run_capacity = max(2 * n, 4096)
+            arrays = (
+                np.zeros(self._run_capacity, dtype=np.uint8),
+                np.zeros(self._run_capacity, dtype=np.int64),
+                np.zeros(self._run_capacity, dtype=np.int64),
+            )
+            self._run_scratch = (
+                arrays, tuple(a.ctypes.data for a in arrays)
+            )
+        return self._run_scratch
+
+    def sync_down(self, mem: "MemorySystem") -> None:
+        """Write the C-resident state back into the Python models."""
+        span = self.l1_sets * self.l1_ways
+        for i, l1 in enumerate(mem.l1s):
+            l1.import_state(
+                self.l1_lines[i * span:(i + 1) * span],
+                self.l1_owners[i * span:(i + 1) * span],
+                self.l1_dirty[i * span:(i + 1) * span],
+                self.l1_len[i * self.l1_sets:(i + 1) * self.l1_sets],
+            )
+        if mem.l2 is not None:
+            mem.l2.import_state(
+                self.l2_lines, self.l2_owners, self.l2_dirty, self.l2_len
+            )
+        else:
+            mem.l2_way.import_state(
+                self.l2_lines, self.l2_owners, self.l2_dirty,
+                self.l2_stamp, int(self.way_clock[0]),
+            )
+        bank_free = mem.memory._bank_free_at
+        for bank, value in enumerate(self.bank_free.tolist()):
+            bank_free[bank] = value
+        bus = mem.bus
+        demand = self.bus_demand.tolist()
+        last = self.bus_last.tolist()
+        for cpu in range(mem.n_cpus):
+            bus._demand[cpu] = demand[cpu]
+            bus._last_update[cpu] = last[cpu]
+        bus.total_transfers = int(self.bus_transfers[0])
+        bus.total_surcharge_cycles = float(self.bus_surcharge[0])
+
+    def close(self) -> None:
+        """Free the C capsule (idempotent)."""
+        handle, self.handle = getattr(self, "handle", None), None
+        if handle:
+            try:
+                self.walker.state_free(handle)
+            except Exception:  # pragma: no cover - interpreter teardown
+                pass
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        self.close()
 
 
 class MemorySystem:
@@ -167,11 +421,18 @@ class MemorySystem:
         self.way_map = WayPartitionMap(config.l2_geometry.ways)
         self.memory = MainMemory(config.dram)
         self.bus = SharedBus(config.bus, n_cpus=n_cpus)
-        # The fast walker inlines LRU/FIFO victim selection; a random-
-        # replacement L2 keeps the reference walk (the L1s are always LRU).
-        self._fast = config.engine == "fast" and (
-            self.l2 is None or self.l2.policy in ("lru", "fifo")
-        )
+        # The fast walker inlines victim selection for every policy
+        # (random replays the reference RNG stream); "compiled" runs the
+        # same walk when its C tier is unavailable.
+        self._fast = config.engine in ("fast", "compiled")
+        #: Lazily built persistent C state (engine="compiled" only).
+        self._compiled: Optional[_CompiledState] = None
+        self._compiled_wanted = config.engine == "compiled"
+        self._compiled_failed = False
+        #: (version, table) memo of the dense set-translation table.
+        self._set_table_memo: Optional[tuple] = None
+        #: (version, table) memo of the way-allocation table.
+        self._way_table_memo: Optional[tuple] = None
 
     # -- configuration -----------------------------------------------------
 
@@ -183,11 +444,13 @@ class MemorySystem:
 
     def reset_stats(self) -> None:
         """Zero all statistics without touching cache contents."""
+        self.sync_state()
         for l1 in self.l1s:
             l1.stats.reset()
         self.l2_stats.reset()
         self.memory.reset_traffic()
         self.bus.reset()
+        self._drop_compiled()
 
     def repartition(self, now: float = 0.0) -> int:
         """Flush and invalidate every cache level; returns the writebacks.
@@ -198,6 +461,8 @@ class MemorySystem:
         traffic.  Every dirty victim is written back to DRAM (traffic
         only -- reprogramming is not on the CPUs' critical path).
         """
+        self.sync_state()
+        self._drop_compiled()
         flushed = 0
         caches = list(self.l1s)
         caches.append(self.l2 if self.l2 is not None else self.l2_way)
@@ -206,6 +471,124 @@ class MemorySystem:
                 self.memory.access(line, True, now)
                 flushed += 1
         return flushed
+
+    # -- compiled-tier state management ------------------------------------
+
+    def sync_state(self) -> None:
+        """Materialise C-resident state back into the Python models.
+
+        A no-op unless the compiled tier is live.  Cache contents, DRAM
+        bank timers and bus demand live C-side between compiled calls;
+        anything that wants the Python dict/list view (repartitioning,
+        direct cache inspection, the differential tests) calls this
+        first.  Idempotent -- the arrays stay authoritative and further
+        compiled calls continue from them.
+        """
+        if self._compiled is not None:
+            self._compiled.sync_down(self)
+
+    def _drop_compiled(self) -> None:
+        """Invalidate the C handle after a Python-side state mutation.
+
+        The next compiled call re-exports the (mutated) Python state.
+        Callers must :meth:`sync_state` *before* mutating, or the
+        mutation would start from a stale view.
+        """
+        if self._compiled is not None:
+            self._compiled.close()
+            self._compiled = None
+
+    def _compiled_state(self) -> Optional[_CompiledState]:
+        """The live persistent C state, (re)built on demand.
+
+        ``None`` when the engine is not "compiled", no C toolchain is
+        available, or the L2 policy is ``random`` (the RNG replay stays
+        in the Python fast walker).
+        """
+        if not self._compiled_wanted or self._compiled_failed:
+            return None
+        if self.l2 is not None and self.l2.policy == "random":
+            return None
+        if self._compiled is None:
+            walker = cwalker.load()
+            if walker is None:
+                self._compiled_failed = True
+                return None
+            try:
+                self._compiled = _CompiledState(self, walker)
+            except MemoryError:
+                self._compiled_failed = True
+                return None
+        return self._compiled
+
+    @property
+    def segment_ready(self) -> bool:
+        """Whether :meth:`execute_segment` runs through the C tier.
+
+        The schedule collector in :mod:`repro.cake.processor` gates on
+        this: with the compiled tier down, the per-op event loop is not
+        slower than the Python fallback segment walk.
+        """
+        return self._compiled_wanted and self._compiled_state() is not None
+
+    def _set_translation_table(self):
+        """Dense owner -> set-group table for the C walkers (memoized).
+
+        Row layout matches ``_walker.c``: rows ``0..n_table-1`` are the
+        per-owner effective partitions (default mapping where none),
+        row ``n_table`` is the default mapping itself; owners beyond
+        the table use the default row, which is correct because every
+        partitioned or aliased owner is covered by construction.
+        """
+        version = self.set_map.version
+        if self._set_table_memo is not None \
+                and self._set_table_memo[0] == version:
+            return self._set_table_memo[1]
+        covered = set(self.set_map._partitions) | set(self.set_map._aliases)
+        n_table = (max(covered) + 1) if covered else 0
+        pool = self.set_map.default_pool
+        if pool is not None:
+            default_row = (pool.base, pool.n_sets, pool.is_power_of_two)
+        else:
+            default_row = (0, self.config.l2_geometry.sets, True)
+        tbl_base = np.empty(n_table + 1, dtype=np.int64)
+        tbl_size = np.empty(n_table + 1, dtype=np.int64)
+        tbl_pow2 = np.empty(n_table + 1, dtype=np.uint8)
+        for owner in range(n_table):
+            partition = self.set_map.effective_partition(owner)
+            row = (
+                (partition.base, partition.n_sets, partition.is_power_of_two)
+                if partition is not None else default_row
+            )
+            tbl_base[owner], tbl_size[owner], tbl_pow2[owner] = row
+        tbl_base[n_table], tbl_size[n_table], tbl_pow2[n_table] = default_row
+        table = (n_table, tbl_base, tbl_size, tbl_pow2)
+        self._set_table_memo = (version, table)
+        return table
+
+    def _way_allocation_table(self):
+        """Dense owner -> allocation-way table for the C walker (memoized).
+
+        ``way_rows + 1`` rows of ``l2_ways`` slots, -1 padded, in the
+        owner's allocation-preference order; the last row (and every
+        uncovered owner) gets all ways -- the unpartitioned default.
+        """
+        version = self.way_map._version
+        if self._way_table_memo is not None \
+                and self._way_table_memo[0] == version:
+            return self._way_table_memo[1]
+        ways = self.config.l2_geometry.ways
+        assigned = self.way_map._ways_of
+        way_rows = (max(assigned) + 1) if assigned else 0
+        table = np.full((way_rows + 1) * ways, -1, dtype=np.int64)
+        for owner in range(way_rows + 1):
+            row = self.way_map.ways_of(owner) if owner < way_rows \
+                else tuple(range(ways))
+            for k, way in enumerate(row):
+                table[owner * ways + k] = way
+        result = (way_rows, table)
+        self._way_table_memo = (version, result)
+        return result
 
     # -- execution -----------------------------------------------------------
 
@@ -220,9 +603,380 @@ class MemorySystem:
         """
         if not 0 <= cpu_id < self.n_cpus:
             raise MemoryModelError(f"cpu {cpu_id} out of range")
+        if self._compiled_wanted:
+            outcome = self._execute_segment_compiled(
+                [SegmentEntry.compute(cpu_id, task_owner, batch)],
+                now, math.inf, 0, False,
+            )
+            if outcome is not None:
+                return outcome[1][0]
         if self._fast:
             return self._execute_batch_fast(cpu_id, task_owner, batch, now)
         return self._execute_batch_reference(cpu_id, task_owner, batch, now)
+
+    def execute_segment(
+        self,
+        entries: Sequence[SegmentEntry],
+        now: float,
+        horizon: float = math.inf,
+        quantum: int = 0,
+        use_quantum: bool = False,
+    ) -> Tuple[int, List[Optional[BatchResult]], int]:
+        """Price an ordered schedule segment; returns what completed.
+
+        ``entries`` execute strictly in order against the shared state,
+        each at the simulated time the previous entries produced --
+        compute entries advance the clock by their computed cycle cost,
+        delay/switch entries by their fixed ``advance``.  Execution
+        stops early (before starting entry ``k >= 1``; the first entry
+        always runs) when
+
+        - any simulated time has elapsed and the clock reached
+          ``horizon`` -- the earliest foreign simulation event, whose
+          interleaving must be preserved, or
+        - ``use_quantum`` is set and the accumulated compute/delay
+          cycles exhausted ``quantum`` -- the round-robin preemption
+          point.
+
+        Returns ``(n_done, results, elapsed)``: how many entries ran,
+        one :class:`BatchResult` per completed batch entry (``None``
+        for delays), and the total simulated cycles consumed.  Runs
+        through the persistent C tier when live, else through a
+        sequential :meth:`execute_batch` walk with identical semantics
+        -- the engines are differentially tested against each other.
+        """
+        if not entries:
+            return 0, [], 0
+        outcome = self._execute_segment_compiled(
+            entries, now, horizon, quantum, use_quantum
+        )
+        if outcome is not None:
+            return outcome
+        return self._execute_segment_fallback(
+            entries, now, horizon, quantum, use_quantum
+        )
+
+    def _execute_segment_fallback(
+        self, entries, now, horizon, quantum, use_quantum
+    ):
+        """Segment semantics over per-batch execute_batch calls."""
+        results: List[Optional[BatchResult]] = []
+        elapsed = 0
+        done = 0
+        for index, entry in enumerate(entries):
+            if index > 0:
+                if elapsed > 0 and now >= horizon:
+                    break
+                if use_quantum and quantum <= 0:
+                    break
+            if entry.kind == SegmentEntry.DELAY:
+                cycles = advance = entry.advance
+                results.append(None)
+            elif entry.batch is None:
+                # A switch without TCB traffic: fixed advance only.
+                cycles = 0
+                advance = entry.advance
+                results.append(None)
+            else:
+                result = self.execute_batch(
+                    entry.cpu_id, entry.owner, entry.batch, now
+                )
+                results.append(result)
+                cycles = result.cycles
+                advance = (
+                    entry.advance if entry.kind == SegmentEntry.SWITCH
+                    else cycles
+                )
+            now += advance
+            elapsed += advance
+            if entry.kind != SegmentEntry.SWITCH:
+                quantum -= cycles
+            done += 1
+        return done, results, elapsed
+
+    def _execute_segment_compiled(
+        self, entries, now, horizon, quantum, use_quantum
+    ):
+        """One C call over the whole segment; ``None`` when unsupported.
+
+        Unsupported means: the compiled tier is down (engine, compiler,
+        random L2) or the segment resolves a negative owner id (the
+        registry never produces one; the oracle path handles it).
+        """
+        state = self._compiled_state()
+        if state is None or not entries:
+            return None
+        config = self.config
+        line_shift = config.l1_geometry.line_shift
+        l1_mask = config.l1_geometry.index_mask
+        l2_mask = config.l2_geometry.index_mask
+        full_line_count = config.l1_geometry.line_size // 4
+        way_partitioned = self.mode is PartitionMode.WAY_PARTITIONED
+        set_partitioned = self.mode is PartitionMode.SET_PARTITIONED
+
+        n_entries = len(entries)
+        entry_arrays, entry_ptrs = state.entry_scratch(n_entries)
+        (kinds, cpus, starts, ends, instrs, advances,
+         out_cycles, out_l1_misses, out_l2_misses,
+         out_dram_lines, out_bus, out_sf) = entry_arrays
+
+        line_parts = []
+        count_parts = []
+        wany_parts = []
+        sf_parts = []
+        owner_parts = []
+        l2_idx_parts = []
+        position = 0
+        for index, entry in enumerate(entries):
+            kinds[index] = entry.kind
+            cpus[index] = entry.cpu_id
+            advances[index] = entry.advance
+            starts[index] = ends[index] = position
+            instrs[index] = 0
+            if entry.batch is None:
+                continue
+            instrs[index] = entry.batch.instructions
+            line_arr, count_arr, wany_arr, wall_arr = entry.batch.runs(
+                line_shift
+            )
+            n_runs = int(line_arr.shape[0])
+            if n_runs == 0:
+                continue
+            ends[index] = position + n_runs
+            position += n_runs
+            owners_arr = self.resolver.resolve_many(
+                line_arr << line_shift, entry.owner
+            )
+            line_parts.append(line_arr)
+            count_parts.append(count_arr)
+            wany_parts.append(wany_arr)
+            sf_parts.append(wall_arr & (count_arr >= full_line_count))
+            owner_parts.append(owners_arr)
+            if set_partitioned:
+                l2_idx_parts.append(
+                    self.set_map.map_index_many(owners_arr, line_arr)
+                )
+
+        if position:
+            if len(line_parts) == 1:
+                lines_arr = line_parts[0]
+                counts_arr = count_parts[0]
+                # numpy bools are one byte: reinterpret, do not copy.
+                wany_u8 = wany_parts[0].view(np.uint8)
+                sf_u8 = sf_parts[0].view(np.uint8)
+                owners_arr = owner_parts[0]
+            else:
+                lines_arr = np.concatenate(line_parts)
+                counts_arr = np.concatenate(count_parts)
+                wany_u8 = np.concatenate(wany_parts).view(np.uint8)
+                sf_u8 = np.concatenate(sf_parts).view(np.uint8)
+                owners_arr = np.concatenate(owner_parts)
+            if int(owners_arr.min()) < 0:
+                # Negative owner ids take the oracle path -- stickily,
+                # because once such lines are resident any eviction
+                # would feed their owner into the vectorised flush.
+                # Hand the authoritative state back to the Python
+                # models first, otherwise the fallback would walk a
+                # stale view and its mutations would never reach the C
+                # arrays.
+                self.sync_state()
+                self._drop_compiled()
+                self._compiled_failed = True
+                self._fast = False
+                return None
+            l1_idx_arr = lines_arr & l1_mask
+            if set_partitioned:
+                l2_idx_arr = np.ascontiguousarray(
+                    l2_idx_parts[0] if len(l2_idx_parts) == 1
+                    else np.concatenate(l2_idx_parts),
+                    dtype=np.int64,
+                )
+            else:
+                l2_idx_arr = lines_arr & l2_mask
+        else:
+            lines_arr = counts_arr = owners_arr = state._no_table[0]
+            l1_idx_arr = l2_idx_arr = state._no_table[0]
+            wany_u8 = sf_u8 = state._no_table[2]
+
+        if set_partitioned:
+            use_table = 1
+            n_table, tbl_base, tbl_size, tbl_pow2 = \
+                self._set_translation_table()
+        else:
+            use_table = 0
+            n_table = 0
+            tbl_base, tbl_size, tbl_pow2 = state._no_table
+        if way_partitioned:
+            way_rows, way_table = self._way_allocation_table()
+        else:
+            way_rows = 0
+            way_table = state._no_table[0]
+
+        run_arrays, run_ptrs = state.run_scratch(position)
+        flags, l1_vo, l2_vo = run_arrays
+        counters = state.counters
+
+        n_done = int(state.walker.walk_segment(
+            state.handle, n_entries,
+            entry_ptrs[0], entry_ptrs[1], entry_ptrs[2], entry_ptrs[3],
+            entry_ptrs[4], entry_ptrs[5],
+            lines_arr.ctypes.data, l1_idx_arr.ctypes.data,
+            l2_idx_arr.ctypes.data,
+            wany_u8.ctypes.data, sf_u8.ctypes.data, owners_arr.ctypes.data,
+            use_table, n_table,
+            tbl_base.ctypes.data, tbl_size.ctypes.data, tbl_pow2.ctypes.data,
+            way_table.ctypes.data, way_rows,
+            float(now),
+            horizon if horizon != math.inf else 1e308,
+            int(quantum), 1 if use_quantum else 0,
+            run_ptrs[0], run_ptrs[1], run_ptrs[2],
+            entry_ptrs[6], entry_ptrs[7], entry_ptrs[8],
+            entry_ptrs[9], entry_ptrs[10], entry_ptrs[11],
+            state.counters.ctypes.data,
+        ))
+
+        self._flush_segment_stats(
+            entries, n_done, ends, cpus,
+            lines_arr, counts_arr, owners_arr, sf_u8,
+            flags, l1_vo, l2_vo,
+            out_l2_misses, counters, state,
+        )
+
+        results: List[Optional[BatchResult]] = []
+        elapsed = 0
+        for index in range(n_done):
+            entry = entries[index]
+            if entry.kind == SegmentEntry.DELAY or entry.batch is None:
+                results.append(None)
+                elapsed += entry.advance
+                continue
+            results.append(BatchResult(
+                cycles=int(out_cycles[index]),
+                instructions=int(instrs[index]),
+                accesses=entry.batch.n_accesses,
+                l1_misses=int(out_l1_misses[index]),
+                l2_accesses=int(out_l1_misses[index]),
+                l2_misses=int(out_l2_misses[index]),
+                dram_lines=int(out_dram_lines[index]),
+                bus_cycles=int(out_bus[index]),
+                store_fills=int(out_sf[index]),
+            ))
+            elapsed += (
+                entry.advance if entry.kind == SegmentEntry.SWITCH
+                else int(out_cycles[index])
+            )
+        return n_done, results, elapsed
+
+    def _flush_segment_stats(
+        self, entries, n_done, ends, cpus,
+        lines_arr, counts_arr, owners_arr, sf_u8,
+        flags, l1_vo, l2_vo, out_l2_misses, counters, state,
+    ) -> None:
+        """Reduce the segment's per-run flags into the Python stats.
+
+        The same bincount flush as the fast engine, applied once per
+        segment: L1 accounting per CPU present in the completed
+        entries, L2 accounting over all completed runs, cold misses by
+        batch-first occurrence against the seen-sets, DRAM traffic from
+        the C counters.
+        """
+        run_end = int(ends[n_done - 1]) if n_done else 0
+        traffic = self.memory.traffic
+        dram_reads = int(out_l2_misses[:n_done].sum()) if n_done else 0
+        traffic.line_reads += dram_reads
+        traffic.line_writes += int(counters[0])
+        traffic.bank_conflicts += int(counters[1]) + int(counters[2])
+        if run_end == 0:
+            return
+        walker = state.walker
+        dflags = flags[:run_end]
+        downers = owners_arr[:run_end]
+        dlines = lines_arr[:run_end]
+        dcounts = counts_arr[:run_end]
+
+        # Which CPUs the completed batch entries ran on (the collector
+        # produces single-CPU segments; the general path stays correct
+        # for mixed ones).
+        done_cpus: List[int] = []
+        for i in range(n_done):
+            cpu = int(cpus[i])
+            if int(ends[i]) > (int(ends[i - 1]) if i else 0) \
+                    and cpu not in done_cpus:
+                done_cpus.append(cpu)
+        multi_cpu = len(done_cpus) > 1
+
+        if not dflags.any():
+            # Pure L1-hit stretch (the warm steady state): only the
+            # per-owner access/hit counts move.
+            empty = _EMPTY_I64
+            for cpu in done_cpus:
+                if multi_cpu:
+                    lengths = np.diff(
+                        np.concatenate(([0], ends[:n_done]))
+                    )
+                    mask = np.repeat(cpus[:n_done], lengths) == cpu
+                    s_owners, s_counts = downers[mask], dcounts[mask]
+                else:
+                    s_owners, s_counts = downers, dcounts
+                _flush_weighted_stats(
+                    self.l1s[cpu].stats, s_owners, s_counts,
+                    empty, empty, empty, empty, empty,
+                )
+            return
+
+        dsf = sf_u8[:run_end]
+        dl1_vo = l1_vo[:run_end]
+        dl2_vo = l2_vo[:run_end]
+        l1_miss_mask = (dflags & cwalker.FLAG_L1_MISS) != 0
+        demand_mask = (dflags & cwalker.FLAG_L2_DEMAND_MISS) != 0
+        l2_evict_mask = (dflags & cwalker.FLAG_L2_EVICT) != 0
+        l2_wb_mask = (dflags & cwalker.FLAG_L2_WB) != 0
+        probe_miss_mask = (dflags & cwalker.FLAG_L2_PROBE_MISS) != 0
+
+        # -- L1 accounting, grouped by the CPU of each entry ----------------
+        if multi_cpu:
+            lengths = np.diff(np.concatenate(([0], ends[:n_done])))
+            run_cpu = np.repeat(cpus[:n_done], lengths)
+        for cpu in done_cpus:
+            if multi_cpu:
+                mask = run_cpu == cpu
+                s_owners = downers[mask]
+                s_counts = dcounts[mask]
+                s_lines = dlines[mask]
+                s_flags = dflags[mask]
+                s_vo = dl1_vo[mask]
+            else:
+                s_owners, s_counts, s_lines = downers, dcounts, dlines
+                s_flags, s_vo = dflags, dl1_vo
+            s_miss = (s_flags & cwalker.FLAG_L1_MISS) != 0
+            s_evict = (s_flags & cwalker.FLAG_L1_EVICT) != 0
+            s_wb = (s_flags & cwalker.FLAG_L1_WB) != 0
+            l1 = self.l1s[cpu]
+            cold_runs, miss_lines = _first_misses(
+                walker, np.ascontiguousarray(s_lines), s_miss, l1._seen
+            )
+            l1._seen.update(miss_lines)
+            _flush_weighted_stats(
+                l1.stats, s_owners, s_counts,
+                s_owners[s_miss], s_owners[cold_runs],
+                s_owners[s_evict], s_vo[s_evict], s_vo[s_wb],
+            )
+
+        # -- L2 accounting over every completed run -------------------------
+        l2_cache = self.l2 if self.l2 is not None else self.l2_way
+        cold2_candidates, miss_lines2 = _first_misses(
+            walker, np.ascontiguousarray(dlines), probe_miss_mask,
+            l2_cache._seen,
+        )
+        cold2_runs = cold2_candidates[dsf[cold2_candidates] == 0]
+        l2_cache._seen.update(miss_lines2)
+        _flush_probe_stats(
+            l2_cache.stats,
+            downers[l1_miss_mask], downers[demand_mask],
+            downers[cold2_runs],
+            downers[l2_evict_mask], dl2_vo[l2_evict_mask],
+            dl2_vo[l2_wb_mask],
+        )
 
     def _execute_batch_reference(
         self, cpu_id: int, task_owner: int, batch: AccessBatch, now: float
@@ -356,7 +1110,10 @@ class MemorySystem:
         )
         if int(owners_arr.min()) < 0:
             # Negative owner ids would break the bincount flush; the
-            # registry never produces them, so take the oracle path.
+            # registry never produces them, so degrade to the oracle
+            # path -- *stickily*: once such lines are resident, any
+            # later eviction would feed their owner into the flush.
+            self._fast = False
             return self._execute_batch_reference(
                 cpu_id, task_owner, batch, now
             )
@@ -378,7 +1135,9 @@ class MemorySystem:
         else:
             l2_idx_arr = line_arr & l2_mask
 
-        if not way_partitioned and n_runs >= self.c_walk_threshold:
+        l2_random = self.l2 is not None and self.l2.policy == "random"
+        if (not way_partitioned and not l2_random
+                and n_runs >= self.c_walk_threshold):
             walker = cwalker.load()
             if walker is not None:
                 return self._execute_batch_fast_c(
@@ -424,6 +1183,11 @@ class MemorySystem:
             l2_seen_add = l2_seen.add
             l2_ways = l2.geometry.ways
             l2_lru = l2.policy == "lru"
+            # Random replacement replays the reference RNG stream: one
+            # draw per eviction, in eviction order, over a same-order
+            # recency list -- so the victims (and the generator state)
+            # match the oracle draw for draw.
+            l2_rng_integers = l2._rng.integers if l2_random else None
 
         # DRAM bank model inlined (same dict, same update order).
         dram = self.memory.config
@@ -569,7 +1333,12 @@ class MemorySystem:
                     l2_miss_owners.append(owner)
                 slist2 = l2_sets[l2i]
                 if len(slist2) >= l2_ways:
-                    victim = slist2.pop()
+                    if l2_rng_integers is not None:
+                        victim = slist2.pop(
+                            int(l2_rng_integers(len(slist2)))
+                        )
+                    else:
+                        victim = slist2.pop()
                     del l2_where[victim]
                     victim_owner = l2_owner_of.pop(victim)
                     l2_evictor_owners.append(owner)
@@ -683,32 +1452,13 @@ class MemorySystem:
         l2_lines, l2_owners, l2_dirty, l2_lens = l2.export_state()
 
         # Dirty L1 victims re-index through the per-owner translation;
-        # ship the map as a dense table (row n_table = default mapping).
+        # ship the map as a dense table (row n_table = default mapping,
+        # covering every partitioned/aliased owner -- memoized on the
+        # partition map's version counter).
         if set_partitioned:
             use_table = 1
-            max_owner = int(owners_arr.max())
-            if int(l1_lens.sum()):
-                max_owner = max(max_owner, int(l1_owners.max()))
-            n_table = max_owner + 1
-            pool = self.set_map.default_pool
-            if pool is not None:
-                default_row = (pool.base, pool.n_sets, pool.is_power_of_two)
-            else:
-                default_row = (0, config.l2_geometry.sets, True)
-            tbl_base = np.empty(n_table + 1, dtype=np.int64)
-            tbl_size = np.empty(n_table + 1, dtype=np.int64)
-            tbl_pow2 = np.empty(n_table + 1, dtype=np.uint8)
-            for owner in range(n_table):
-                partition = self.set_map.effective_partition(owner)
-                row = (
-                    (partition.base, partition.n_sets,
-                     partition.is_power_of_two)
-                    if partition is not None else default_row
-                )
-                tbl_base[owner], tbl_size[owner], tbl_pow2[owner] = row
-            tbl_base[n_table], tbl_size[n_table], tbl_pow2[n_table] = (
-                default_row
-            )
+            n_table, tbl_base, tbl_size, tbl_pow2 = \
+                self._set_translation_table()
         else:
             use_table = 0
             n_table = 0
@@ -933,14 +1683,17 @@ def _first_misses(walker, line_arr, miss_mask, seen):
     missed = line_arr[miss_runs]
     first_mask = np.zeros(n_misses, dtype=np.uint8)
     if walker.first_occurrence(
-        missed.ctypes.data_as(ctypes.POINTER(ctypes.c_int64)), n_misses,
-        first_mask.ctypes.data_as(ctypes.POINTER(ctypes.c_uint8)),
+        missed.ctypes.data, n_misses, first_mask.ctypes.data,
     ):
         _, first_sub = np.unique(missed, return_index=True)
     else:
         first_sub = np.flatnonzero(first_mask)
     first_runs = miss_runs[first_sub]
     missed_lines = line_arr[first_runs].tolist()
+    if seen.issuperset(missed_lines):
+        # Warm steady state: every missed line was seen before, so no
+        # run is cold -- skip the per-line membership scan.
+        return first_runs[:0], missed_lines
     pre_seen = np.fromiter(
         (line in seen for line in missed_lines),
         dtype=bool, count=len(missed_lines),

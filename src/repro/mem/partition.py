@@ -181,6 +181,9 @@ class SetPartitionMap:
         if total_sets <= 0:
             raise PartitionError("total_sets must be positive")
         self.total_sets = total_sets
+        #: Bumped on every mutation; lets callers (the compiled walker's
+        #: dense translation table) memoize derived views cheaply.
+        self._version = 0
         self._partitions: Dict[int, SetPartition] = {}
         #: Owners deliberately sharing another owner's partition (§4.2:
         #: "or sharing some cache partitions").
@@ -196,6 +199,11 @@ class SetPartitionMap:
     def partitions(self) -> Dict[int, SetPartition]:
         """Owner id -> partition (a copy; mutate via assign/remove)."""
         return dict(self._partitions)
+
+    @property
+    def version(self) -> int:
+        """Mutation counter (memoization key for derived tables)."""
+        return self._version
 
     def assign(self, owner: int, base: int, n_sets: int) -> SetPartition:
         """Give ``owner`` the exclusive sets ``[base, base + n_sets)``."""
@@ -214,6 +222,7 @@ class SetPartitionMap:
                     f"partition of owner {owner} overlaps owner {other.owner}"
                 )
         self._partitions[owner] = partition
+        self._version += 1
         return partition
 
     def alias(self, owner: int, target: int) -> None:
@@ -234,6 +243,7 @@ class SetPartitionMap:
                 f"owner {owner} already has an exclusive partition"
             )
         self._aliases[owner] = target
+        self._version += 1
 
     def remove(self, owner: int) -> None:
         """Drop the partition of ``owner`` (no-op if absent)."""
@@ -242,11 +252,13 @@ class SetPartitionMap:
         stale = [o for o, t in self._aliases.items() if t == owner]
         for o in stale:
             del self._aliases[o]
+        self._version += 1
 
     def clear(self) -> None:
         """Remove all partitions (back to a fully shared cache)."""
         self._partitions.clear()
         self._aliases.clear()
+        self._version += 1
 
     def partition_of(self, owner: int) -> Optional[SetPartition]:
         """The partition of ``owner`` or ``None``."""
@@ -271,11 +283,13 @@ class SetPartitionMap:
         if pool.end > self.total_sets:
             raise PartitionError("default pool exceeds the cache")
         self._default_pool = pool
+        self._version += 1
         return pool
 
     def clear_default_pool(self) -> None:
         """Back to conventional indexing for unpartitioned owners."""
         self._default_pool = None
+        self._version += 1
 
     @property
     def default_pool(self) -> Optional[SetPartition]:
@@ -356,6 +370,8 @@ class WayPartitionMap:
         if total_ways <= 0:
             raise PartitionError("total_ways must be positive")
         self.total_ways = total_ways
+        #: Mutation counter (memoization key for derived tables).
+        self._version = 0
         self._ways_of: Dict[int, Tuple[int, ...]] = {}
 
     def assign(self, owner: int, ways: Iterable[int]) -> Tuple[int, ...]:
@@ -373,6 +389,7 @@ class WayPartitionMap:
                     f"ways of owner {owner} overlap owner {other}"
                 )
         self._ways_of[owner] = way_tuple
+        self._version += 1
         return way_tuple
 
     def ways_of(self, owner: int) -> Tuple[int, ...]:

@@ -3,8 +3,9 @@
 from __future__ import annotations
 
 import enum
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Generator, Optional
+from typing import Any, Deque, Generator, Optional
 
 from repro.errors import SchedulingError
 from repro.kpn.graph import TaskSpec
@@ -57,6 +58,12 @@ class Task:
         self.last_cpu: Optional[int] = None
         #: Blocking FIFO op to retry on wake-up.
         self.pending_op: Optional[Op] = None
+        #: Ops the schedule collector pulled ahead of execution but had
+        #: to hand back (segment cut short by a foreign event or the
+        #: quantum).  Consumed before the program advances, in order,
+        #: so the op stream is identical whether or not -- and on
+        #: whichever CPU -- the task resumes.
+        self.pending_ops: Deque[Op] = deque()
         self._generator: Optional[Generator[Op, Any, Any]] = None
 
     @property
@@ -84,6 +91,20 @@ class Task:
             return next(self._generator)
         except StopIteration:
             return None
+
+    def next_op(self) -> Optional[Op]:
+        """The next op to execute, in replay-exact order.
+
+        A blocked FIFO op to retry wins, then ops the schedule
+        collector handed back, then the program itself.
+        """
+        if self.pending_op is not None:
+            op = self.pending_op
+            self.pending_op = None
+            return op
+        if self.pending_ops:
+            return self.pending_ops.popleft()
+        return self.advance()
 
     def __repr__(self) -> str:
         return f"<Task {self.name!r} {self.state.value}>"

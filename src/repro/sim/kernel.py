@@ -414,6 +414,7 @@ class Simulator:
         self._now = float(start_time)
         self._queue: list = []
         self._sequence = 0
+        self._events_processed = 0
         self._active_process: Optional[Process] = None
 
     # -- properties --------------------------------------------------------
@@ -422,6 +423,17 @@ class Simulator:
     def now(self) -> float:
         """Current simulation time."""
         return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Events popped and delivered since construction.
+
+        The event count is the kernel-side cost metric of a run: the
+        schedule-compiled execution tier exists to shrink it (one
+        timeout per flushed segment instead of one per op), and the
+        schedule benchmark reports it alongside wall time.
+        """
+        return self._events_processed
 
     @property
     def active_process(self) -> Optional[Process]:
@@ -483,6 +495,7 @@ class Simulator:
         if time < self._now:
             raise SimulationError("event scheduled in the past")  # pragma: no cover
         self._now = time
+        self._events_processed += 1
         callbacks = event.callbacks
         event.callbacks = None
         event._processed = True
@@ -529,7 +542,16 @@ class Simulator:
         return None
 
     def peek(self) -> float:
-        """Time of the next scheduled event, or ``inf`` if none."""
+        """Time of the next scheduled event, or ``inf`` if none.
+
+        This is also the *quiet horizon* the schedule-compiled
+        execution tier relies on: the process currently being resumed
+        runs synchronously, so until it yields, no state visible to it
+        can change before this time -- a collected run of deterministic
+        ops may therefore execute in one batch as long as each op
+        starts strictly before ``peek()`` (ties hand control back to
+        the kernel, which preserves the reference event order).
+        """
         return self._queue[0][0] if self._queue else float("inf")
 
     def __repr__(self) -> str:

@@ -492,6 +492,142 @@ def test_concurrent_writers_of_one_key_leave_an_intact_entry(tmp_path):
     assert list(root.glob("*/*/.*.tmp")) == []
 
 
+# -- GC: LRU-by-mtime pruning to a size budget ---------------------------------
+
+
+def _put_sized(cache, key, mtime, payload_bytes=200):
+    """One entry with a pinned mtime (the LRU ordering key)."""
+    path = cache.put(KIND_PROFILE, key, {"pad": "x" * payload_bytes})
+    os.utime(path, (mtime, mtime))
+    return path
+
+
+def test_gc_prunes_least_recently_written_first(tmp_path):
+    from repro.exp.cache import clear_generation
+
+    cache = ProfileCache(tmp_path / "cache")
+    old = _put_sized(cache, "aa01", mtime=1_000)
+    mid = _put_sized(cache, "bb02", mtime=2_000)
+    new = _put_sized(cache, "cc03", mtime=3_000)
+    total = sum(p.stat().st_size for p in (old, mid, new))
+    generation = clear_generation(cache.root)
+    result = cache.gc(max_bytes=total - 1)  # one entry over budget
+    assert result["removed"] == 1
+    assert not old.exists() and mid.exists() and new.exists()
+    # Evictions invalidate in-process "verified on disk" memos, like
+    # clear() does -- a pruned key must be re-checked, not trusted.
+    assert clear_generation(cache.root) == generation + 1
+    # Within budget: nothing further to do (and no generation churn).
+    assert cache.gc(max_bytes=total)["removed"] == 0
+    assert clear_generation(cache.root) == generation + 1
+    # Budget 0 empties the cache entirely.
+    result = cache.gc(max_bytes=0)
+    assert result["removed"] == 2
+    assert result["kept"] == 0 and result["kept_bytes"] == 0
+
+
+def test_gc_sweeps_only_stale_writer_litter(tmp_path):
+    """Crashed-writer orphans go; a live writer's in-flight temp (young
+    mtime, between mkstemp and the atomic replace) is spared."""
+    cache = ProfileCache(tmp_path / "cache")
+    entry = _put_sized(cache, "aa01", mtime=1_000)
+    stale = entry.parent / ".aa01-dead.tmp"
+    stale.write_text('{"half-written')
+    os.utime(stale, (1_000, 1_000))
+    live = entry.parent / ".bb02-live.tmp"
+    live.write_text('{"in-flight')  # fresh mtime: presumed live
+    result = cache.gc()  # no budget: litter only
+    assert result["removed"] == 1
+    assert not stale.exists() and live.exists() and entry.exists()
+    # Entry pruning likewise never touches the live temp.
+    cache.gc(max_bytes=0)
+    assert live.exists() and not entry.exists()
+
+
+def test_put_enforces_max_bytes(tmp_path):
+    cache = ProfileCache(tmp_path / "cache", max_bytes=450)
+    for index, key in enumerate(["aa01", "bb02", "cc03"]):
+        _put_sized(cache, key, mtime=1_000 * (index + 1))
+    kept = _entry_paths(tmp_path / "cache")
+    assert 1 <= len(kept) <= 2  # pruned down to the budget on the way
+    assert kept[-1].name == "cc03.json" or kept[0].name == "bb02.json"
+    assert sum(p.stat().st_size for p in kept) <= 450
+    with pytest.raises(ConfigurationError):
+        ProfileCache(tmp_path / "cache", max_bytes=-1)
+    with pytest.raises(ConfigurationError):
+        ProfileCache(tmp_path / "cache").gc(max_bytes=-1)
+
+
+def test_gc_deletion_is_atomic_under_a_concurrent_reader(tmp_path):
+    """A reader racing gc either wins (opened before the unlink) or
+    sees a clean miss -> recompute; never a partial entry.  Driven
+    deterministically: the reader resolves between the stat pass and
+    the unlink by patching Path.unlink."""
+    root = tmp_path / "cache"
+    cache = ProfileCache(root)
+    payload = {"pad": "x" * 200}
+    path = cache.put(KIND_PROFILE, "aa01", payload)
+    os.utime(path, (1_000, 1_000))
+
+    reads = []
+    real_unlink = Path.unlink
+
+    def racing_unlink(self, *args, **kwargs):
+        # The reader gets in just before the delete... then the delete
+        # lands, and a second reader sees a plain miss.
+        reads.append(ProfileCache(root).get(KIND_PROFILE, "aa01"))
+        real_unlink(self, *args, **kwargs)
+
+    import unittest.mock as mock
+    with mock.patch.object(Path, "unlink", racing_unlink):
+        result = cache.gc(max_bytes=0)
+    assert result["removed"] == 1
+    assert reads == [payload]  # pre-delete reader saw the full entry
+    late = ProfileCache(root)
+    assert late.get(KIND_PROFILE, "aa01") is None  # miss, not an error
+    assert late.rejected_count == 0  # a miss, never "corruption"
+
+
+def test_gc_cli_subcommand(tmp_path, capsys):
+    cache = ProfileCache(tmp_path / "cache")
+    _put_sized(cache, "aa01", mtime=1_000)
+    _put_sized(cache, "bb02", mtime=2_000)
+    # Without a budget the CLI only sweeps litter: entries stay.
+    assert cache_cli(["gc", "--dir", str(tmp_path / "cache")]) == 0
+    assert "removed 0 files" in capsys.readouterr().out
+    assert len(_entry_paths(tmp_path / "cache")) == 2
+    # An explicit budget -- including 0 -- is honoured as-is.
+    assert cache_cli(["gc", "--dir", str(tmp_path / "cache"),
+                      "--max-bytes", "0"]) == 0
+    assert "removed 2 files" in capsys.readouterr().out
+    assert _entry_paths(tmp_path / "cache") == []
+
+
+# -- slim baseline envelopes ---------------------------------------------------
+
+
+def test_baseline_envelopes_drop_task_stats(tmp_path):
+    """Baselines persist without per-task stats (nothing reads them);
+    profiles and records are unaffected, and a v1 (fat) entry reads as
+    a stale-version miss that heals on recompute."""
+    from repro.exp.scenario import run_metrics_from_payload
+    cache = ProfileCache(tmp_path / "cache")
+    scenario = small_scenario()
+    outcome = run_scenario(scenario, cache=cache)
+    entry = cache.entry_path(KIND_BASELINE, scenario.baseline_key)
+    envelope = json.loads(entry.read_text())
+    assert envelope["cache_version"] == CACHE_VERSION
+    assert "task_stats" not in envelope["payload"]
+    # The slim payload still round-trips into a usable RunMetrics.
+    metrics = run_metrics_from_payload(envelope["payload"])
+    assert metrics.task_stats == {}
+    assert metrics.l2_by_owner
+    # A warm re-run from the slim baseline reproduces the record.
+    clear_caches()
+    again = run_scenario(scenario, cache=cache)
+    assert again.record.canonical() == outcome.record.canonical()
+
+
 # -- the acceptance gate -------------------------------------------------------
 
 

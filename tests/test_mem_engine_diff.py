@@ -1,13 +1,18 @@
-"""Differential tests: the fast hierarchy engine against the oracle.
+"""Differential tests: the fast and compiled engines against the oracle.
 
-The fast engine (Python walker and, for large batches, the compiled C
-walker) must produce *bit-identical* statistics to the reference
-engine: every ``BatchResult``, every per-owner ``OwnerStats`` at both
-cache levels, the eviction-attribution matrices, DRAM traffic and bus
-accounting.  The streams below mix reads and writes, random and
-streaming access (store-fill path), shared-buffer traffic (interval
-owners) and private task footprints, across all three partition modes
-and both inlined L2 policies.
+Every engine tier -- the fast Python walker, the stateless per-batch C
+kernel (``walk_batch``), and the schedule-compiled tier (persistent C
+state handle + ``walk_segment``) -- must produce *bit-identical*
+statistics to the reference engine: every ``BatchResult``, every
+per-owner ``OwnerStats`` at both cache levels, the
+eviction-attribution matrices, DRAM traffic and bus accounting.  The
+streams below mix reads and writes, random and streaming access
+(store-fill path), shared-buffer traffic (interval owners) and private
+task footprints, across all three partition modes and the inlined L2
+policies.  The compiled engine runs every batch -- the test streams
+are all far below the fast tier's 4096-run threshold, so these cases
+are exactly the persistent-handle small-batch path the stateless C
+kernel cannot serve.
 
 Task address regions are disjoint per task: the model requires a
 stable line-to-set mapping, so a line not covered by the interval
@@ -15,13 +20,15 @@ table must always be issued by the same owner (the seed model shares
 this contract -- violating it corrupts its bookkeeping too).
 """
 
+import math
+
 import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
 from repro.mem import cwalker
 from repro.mem.cache import CacheGeometry
-from repro.mem.hierarchy import HierarchyConfig, MemorySystem
+from repro.mem.hierarchy import HierarchyConfig, MemorySystem, SegmentEntry
 from repro.mem.partition import PartitionMode
 from repro.mem.trace import AccessBatch
 
@@ -74,6 +81,7 @@ def generate_batch(rng, step, task):
 
 
 def assert_systems_identical(reference, fast, context):
+    fast.sync_state()  # materialise compiled-tier state (no-op otherwise)
     for cpu in range(reference.n_cpus):
         ref_l1, fast_l1 = reference.l1s[cpu].stats, fast.l1s[cpu].stats
         assert ref_l1.per_owner == fast_l1.per_owner, (context, "l1", cpu)
@@ -94,11 +102,27 @@ def assert_systems_identical(reference, fast, context):
         for set_index in range(reference.l2.geometry.sets):
             assert (reference.l2.set_contents(set_index)
                     == fast.l2.set_contents(set_index)), (context, set_index)
+    else:
+        # Way-managed L2: same occupied slots, owners, stamps, clock.
+        # (Owner/stamp of an *empty* slot is dead state the model never
+        # reads; the engines may differ there.)
+        ref_way, fast_way = reference.l2_way, fast.l2_way
+        assert ref_way._line == fast_way._line, context
+        assert ref_way._dirty == fast_way._dirty, context
+        assert ref_way._clock == fast_way._clock, context
+        for si, slot_lines in enumerate(ref_way._line):
+            for way, line in enumerate(slot_lines):
+                if line is None:
+                    continue
+                assert (ref_way._owner[si][way]
+                        == fast_way._owner[si][way]), (context, si, way)
+                assert (ref_way._stamp[si][way]
+                        == fast_way._stamp[si][way]), (context, si, way)
 
 
-def run_differential(mode, l2_policy, seed, c_threshold):
+def run_differential(mode, l2_policy, seed, c_threshold, engine="fast"):
     reference = build_system("reference", mode, l2_policy)
-    fast = build_system("fast", mode, l2_policy, c_threshold=c_threshold)
+    fast = build_system(engine, mode, l2_policy, c_threshold=c_threshold)
     rng = np.random.default_rng(seed)
     for step in range(12):
         task = 1 + step % 2
@@ -128,19 +152,132 @@ def test_python_walker_matches_reference(mode, l2_policy, seed):
 @pytest.mark.parametrize("l2_policy", ["lru", "fifo"])
 @pytest.mark.parametrize("seed", [99, 7, 2024])
 def test_c_walker_matches_reference(mode, l2_policy, seed):
-    """Compiled walker (forced via threshold=1) vs oracle."""
+    """Stateless C kernel (forced via threshold=1) vs oracle."""
     run_differential(mode, l2_policy, seed, c_threshold=1)
 
 
-def test_random_l2_policy_falls_back_to_reference_walk():
+@pytest.mark.skipif(not C_AVAILABLE, reason="no C compiler available")
+@pytest.mark.parametrize("mode", list(PartitionMode))
+@pytest.mark.parametrize("l2_policy", ["lru", "fifo"])
+@pytest.mark.parametrize("seed", [99, 7, 2024])
+def test_compiled_engine_matches_reference(mode, l2_policy, seed):
+    """Persistent-handle tier vs oracle, every partition mode.
+
+    Unlike the stateless kernel, the compiled tier also walks the
+    way-partitioned column cache inline, and it serves *every* batch
+    size -- the streams here are hundreds of runs, far below the fast
+    tier's C threshold.
+    """
+    if mode is PartitionMode.WAY_PARTITIONED and l2_policy == "fifo":
+        pytest.skip("way-managed L2 has no replacement-policy knob")
+    run_differential(mode, l2_policy, seed, c_threshold=None,
+                     engine="compiled")
+
+
+# -- schedule segments ---------------------------------------------------------
+
+
+def build_segment(rng, n_cpus=2, n_computes=8, with_switch=True):
+    """A mixed compute/delay segment (plus context-switch traffic)."""
+    entries = []
+    if with_switch:
+        entries.append(SegmentEntry.switch(
+            0, 1, generate_batch(rng, 0, 1), 400
+        ))
+    for step in range(n_computes):
+        task = 1 + step % 2
+        entries.append(SegmentEntry.compute(
+            step % n_cpus, task, generate_batch(rng, step, task)
+        ))
+        if step % 3 == 0:
+            entries.append(SegmentEntry.delay(250 * (step % 2)))
+    return entries
+
+
+@pytest.mark.skipif(not C_AVAILABLE, reason="no C compiler available")
+@pytest.mark.parametrize("mode", list(PartitionMode))
+@pytest.mark.parametrize("seed", [13, 512])
+def test_segment_walk_matches_sequential_reference(mode, seed):
+    """One C segment call == the op-by-op reference walk."""
+    reference = build_system("reference", mode)
+    compiled = build_system("compiled", mode)
+    rng_a = np.random.default_rng(seed)
+    rng_b = np.random.default_rng(seed)
+    segment_a = build_segment(rng_a)
+    segment_b = build_segment(rng_b)
+    done_a, results_a, elapsed_a = reference.execute_segment(
+        segment_a, now=1000.0
+    )
+    done_b, results_b, elapsed_b = compiled.execute_segment(
+        segment_b, now=1000.0
+    )
+    assert compiled._compiled is not None  # really ran the C tier
+    assert (done_a, elapsed_a) == (done_b, elapsed_b)
+    assert results_a == results_b
+    assert done_a == len(segment_a)
+    assert_systems_identical(reference, compiled, (mode, seed))
+
+
+@pytest.mark.skipif(not C_AVAILABLE, reason="no C compiler available")
+@pytest.mark.parametrize("horizon_offset", [0.5, 1.0, 5000.0, math.inf])
+def test_segment_stops_at_the_event_horizon(horizon_offset):
+    """Entry k >= 1 may not start at/after the horizon; entry 0 always
+    runs; cut-off entries leave no trace on any state."""
+    reference = build_system("reference", PartitionMode.SHARED)
+    compiled = build_system("compiled", PartitionMode.SHARED)
+    rng = np.random.default_rng(77)
+    entries = [
+        SegmentEntry.compute(0, 1, generate_batch(rng, s, 1))
+        for s in range(6)
+    ]
+    horizon = 1000.0 + horizon_offset
+    ref = reference.execute_segment(entries, 1000.0, horizon=horizon)
+    comp = compiled.execute_segment(entries, 1000.0, horizon=horizon)
+    assert ref == comp
+    if horizon_offset == math.inf:
+        assert ref[0] == len(entries)
+    else:
+        assert ref[0] < len(entries)
+    assert_systems_identical(reference, compiled, horizon)
+
+
+@pytest.mark.skipif(not C_AVAILABLE, reason="no C compiler available")
+def test_segment_stops_on_quantum_expiry():
+    """use_quantum stops after the op that exhausts the quantum --
+    exactly the reference loop's preemption boundary."""
+    reference = build_system("reference", PartitionMode.SHARED)
+    compiled = build_system("compiled", PartitionMode.SHARED)
     rng = np.random.default_rng(5)
+    entries = [
+        SegmentEntry.compute(0, 1, generate_batch(rng, s, 1))
+        for s in range(6)
+    ]
+    ref = reference.execute_segment(
+        entries, 0.0, quantum=1, use_quantum=True
+    )
+    comp = compiled.execute_segment(
+        entries, 0.0, quantum=1, use_quantum=True
+    )
+    assert ref == comp
+    assert ref[0] == 1  # the first op exhausts a 1-cycle quantum
+    # Without use_quantum the same budget is ignored.
+    ref_all = reference.execute_segment(entries, 1e6, quantum=1)
+    comp_all = compiled.execute_segment(entries, 1e6, quantum=1)
+    assert ref_all == comp_all
+    assert ref_all[0] == len(entries)
+    assert_systems_identical(reference, compiled, "quantum")
+
+
+@pytest.mark.parametrize("engine", ["fast", "reference"])
+def test_random_l2_policy_replays_the_reference_rng(engine):
+    """The fast walker replays the oracle's RNG stream draw for draw
+    (PR 1 leftover: it used to fall back to the reference walk)."""
     config = HierarchyConfig(
         l1_geometry=CacheGeometry(sets=4, ways=2, line_size=64),
         l2_geometry=CacheGeometry(sets=16, ways=2, line_size=64),
         l2_policy="random",
-        engine="fast",
+        engine=engine,
     )
-    fast = MemorySystem(1, config, rng=np.random.default_rng(0))
     reference = MemorySystem(
         1,
         HierarchyConfig(
@@ -151,17 +288,78 @@ def test_random_l2_policy_falls_back_to_reference_walk():
         ),
         rng=np.random.default_rng(0),
     )
-    addrs = rng.integers(0, 1 << 16, 500) & ~3
-    batch = AccessBatch.from_addresses(addrs)
-    assert fast.execute_batch(0, 1, batch, 0.0) == reference.execute_batch(
-        0, 1, batch, 0.0
+    system = MemorySystem(1, config, rng=np.random.default_rng(0))
+    rng = np.random.default_rng(5)
+    for step in range(10):
+        addrs = rng.integers(0, 1 << 16, 500) & ~3
+        writes = rng.random(500) < 0.4
+        batch = AccessBatch.from_addresses(addrs, writes=writes)
+        assert system.execute_batch(0, 1, batch, step * 100.0) == \
+            reference.execute_batch(0, 1, batch, step * 100.0), step
+    assert system.l2_stats.per_owner == reference.l2_stats.per_owner
+    assert system.l2._owner_of == reference.l2._owner_of
+    # The generators marched in lockstep: same state after the run.
+    assert (system.l2._rng.bit_generator.state
+            == reference.l2._rng.bit_generator.state)
+
+
+@pytest.mark.skipif(not C_AVAILABLE, reason="no C compiler available")
+def test_compiled_engine_survives_negative_owner_fallback():
+    """A negative *task* owner takes the oracle path mid-run; the
+    compiled tier must hand its resident state down first and
+    re-export after, so mixed positive/negative batches stay
+    bit-identical.  (Negative ids never leave the owner registry; a
+    negative task owner is the supported out-of-contract escape hatch
+    every engine funnels to the reference walk.)"""
+    reference = build_system("reference", PartitionMode.SHARED)
+    compiled = build_system("compiled", PartitionMode.SHARED)
+    rng = np.random.default_rng(21)
+    for step in range(9):
+        if step % 3 == 2:
+            # Private traffic issued on behalf of a negative owner.
+            addrs = (1 << 24) + (rng.integers(0, 1 << 16, 300) & ~3)
+            batch = AccessBatch.from_addresses(addrs)
+            task = -3
+        else:
+            task = 1 + step % 2
+            batch = generate_batch(rng, step, task)
+        assert compiled.execute_batch(0, task, batch, step * 500.0) == \
+            reference.execute_batch(0, task, batch, step * 500.0), step
+    assert_systems_identical(reference, compiled, "negative owners")
+
+
+def test_compiled_engine_degrades_for_random_l2():
+    """random replacement keeps the RNG replay in the Python walker."""
+    config = HierarchyConfig(
+        l1_geometry=CacheGeometry(sets=4, ways=2, line_size=64),
+        l2_geometry=CacheGeometry(sets=16, ways=2, line_size=64),
+        l2_policy="random",
+        engine="compiled",
     )
-    assert fast.l2_stats.per_owner == reference.l2_stats.per_owner
+    system = MemorySystem(1, config, rng=np.random.default_rng(0))
+    assert not system.segment_ready
+    reference = MemorySystem(
+        1,
+        HierarchyConfig(
+            l1_geometry=config.l1_geometry,
+            l2_geometry=config.l2_geometry,
+            l2_policy="random",
+            engine="reference",
+        ),
+        rng=np.random.default_rng(0),
+    )
+    rng = np.random.default_rng(9)
+    addrs = rng.integers(0, 1 << 16, 400) & ~3
+    batch = AccessBatch.from_addresses(addrs)
+    assert system.execute_batch(0, 1, batch, 0.0) == \
+        reference.execute_batch(0, 1, batch, 0.0)
 
 
 def test_engine_config_validated():
     with pytest.raises(ConfigurationError):
         HierarchyConfig(engine="warp")
+    for engine in HierarchyConfig.ENGINES:
+        assert HierarchyConfig(engine=engine).engine == engine
 
 
 @pytest.mark.parametrize(
