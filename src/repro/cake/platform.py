@@ -50,6 +50,7 @@ class Platform:
         malloc_order: Optional[Sequence[str]] = None,
         placement: str = "scatter",
         engine: Optional[str] = None,
+        deferred: Sequence[str] = (),
     ):
         self.network = network
         self.config = config if config is not None else CakeConfig()
@@ -133,6 +134,12 @@ class Platform:
             )
             for i in range(self.config.n_cpus)
         ]
+        unknown = set(deferred) - set(self._task_by_name)
+        if unknown:
+            raise SchedulingError(
+                f"deferred tasks not in the network: {sorted(unknown)}"
+            )
+        self._deferred = tuple(deferred)
         self._started = False
 
     # -- execution -----------------------------------------------------------
@@ -141,12 +148,36 @@ class Platform:
         """Look a task up by name."""
         return self._task_by_name[name]
 
+    def attach_task(self, name: str) -> None:
+        """Start a deferred task mid-run (online arrival)."""
+        self.scheduler.attach(self._task_by_name[name])
+
+    def detach_task(self, name: str) -> None:
+        """Retire a task mid-run (online departure).
+
+        Clears the task's FIFO bookkeeping (a blocked task parks itself
+        on the channel's waiting list with the retried op pending) and
+        removes it from the scheduler.  Tasks that never attached (a
+        rejected arrival) or already finished are left alone.
+        """
+        task = self._task_by_name[name]
+        if task.state in (TaskState.NEW, TaskState.DONE):
+            return
+        for fifo in self.fifos.values():
+            if task in fifo.waiting_readers:
+                fifo.waiting_readers.remove(task)
+            if task in fifo.waiting_writers:
+                fifo.waiting_writers.remove(task)
+        task.pending_op = None
+        task.pending_ops.clear()
+        self.scheduler.detach(task)
+
     def run(self, max_cycles: Optional[float] = None) -> RunMetrics:
         """Run the application to completion (or a cycle horizon)."""
         if self._started:
             raise SchedulingError("Platform.run() may only be called once")
         self._started = True
-        self.scheduler.start_all()
+        self.scheduler.start_all(skip=self._deferred)
         if max_cycles is None:
             self.sim.run()
             blocked = self.scheduler.blocked_tasks()

@@ -236,7 +236,8 @@ class CpuRunner:
         while True:
             task = scheduler.next_task(self.cpu_id)
             if task is None:
-                if scheduler.live_tasks == 0:
+                if (scheduler.live_tasks == 0
+                        and not scheduler.expecting_arrivals()):
                     return
                 idle_start = sim.now
                 yield scheduler.wait_for_work(self.cpu_id)
@@ -254,6 +255,11 @@ class CpuRunner:
                 pending_switch = False
             self._current = task
             self.metrics.dispatches += 1
+            if task.state is TaskState.DONE:
+                # Detached (online departure) while the dispatch switch
+                # was in flight: the segment path prices the switch and
+                # runs no op; match it -- drop without running an op.
+                continue
             task.state = TaskState.RUNNING
             quantum_left = config.quantum_cycles
 
@@ -268,6 +274,8 @@ class CpuRunner:
                     pending_switch = False
                     if elapsed:
                         yield sim.timeout(elapsed)
+                    if task.state is TaskState.DONE:
+                        break  # detached while the segment was in flight
                     if scheduler.should_preempt(self.cpu_id, quantum_left):
                         scheduler.make_ready(task)
                         break
@@ -279,6 +287,8 @@ class CpuRunner:
                     # event-driven way before handling it.
                     pending_switch = False
                     yield from self._pay_switch(task)
+                    if task.state is TaskState.DONE:
+                        break  # detached while the switch was in flight
 
                 if op is None:
                     scheduler.task_done(task)
@@ -338,6 +348,8 @@ class CpuRunner:
                         f"task {task.name!r} yielded unknown op {op!r}"
                     )
 
+                if task.state is TaskState.DONE:
+                    break  # detached while the op's timeout was in flight
                 if scheduler.should_preempt(self.cpu_id, quantum_left):
                     scheduler.make_ready(task)
                     break

@@ -30,7 +30,13 @@ from repro.errors import OptimizationError
 from repro.kpn.graph import ProcessNetwork
 from repro.rtos.cachectl import CacheController
 
-__all__ = ["BufferPolicy", "PartitionPlan", "buffer_units"]
+__all__ = [
+    "BufferPolicy",
+    "PartitionPlan",
+    "WayPlan",
+    "buffer_units",
+    "optimize_way_assignment",
+]
 
 #: The four shared static regions that get their own table rows.
 SHARED_ITEMS = ("appl.data", "appl.bss", "rt.data", "rt.bss")
@@ -154,3 +160,107 @@ class PartitionPlan:
         )
         plan.validate()
         return plan
+
+
+@dataclass(frozen=True)
+class WayPlan:
+    """A way-granularity allocation for column-cached (way) scenarios.
+
+    The paper criticises way partitioning exactly because its
+    granularity is the associativity; this plan makes the restriction
+    explicit: at most ``total_ways`` owners hold exclusive columns,
+    everyone else keeps shared allocation rights.
+    """
+
+    ways_by_owner: Dict[str, tuple]
+    total_ways: int
+    predicted_misses: float = 0.0
+
+    def apply(self, platform: Platform) -> None:
+        """Program the platform's way map from this plan."""
+        platform.cache_controller.program_way_partitions(self.ways_by_owner)
+
+
+def optimize_way_assignment(curves, n_ways: int, total_units: int) -> WayPlan:
+    """Dedicated optimizer for way-partitioned scenarios.
+
+    Solves the way-granularity analogue of the set MCKP directly on the
+    profiled miss curves: every owner picks ``k`` exclusive ways,
+    ``0 <= k <= n_ways``, the total not exceeding ``n_ways``, minimising
+    the predicted misses.  ``k`` ways hold the capacity of
+    ``k * total_units / n_ways`` set-allocation units, so the choice is
+    priced at ``curve.misses_at()`` of that size; ``k = 0`` (no
+    exclusive columns -- the owner falls back to shared allocation
+    rights) is priced conservatively at the curve's smallest profiled
+    size.  A zero-way choice is legal here but not expressible as a
+    :class:`~repro.core.mckp.MckpItem` choice (sizes must be >= 1),
+    which is why this is a standalone exact DP rather than a call into
+    the set solver -- and why way- and set-mode plans legitimately
+    diverge: the way optimizer ranks owners by miss reduction *at
+    column granularity*, not by the set plan's fine-grained unit counts.
+
+    Ties are broken lexicographically on (misses, owners left shared,
+    total ways used): at equal misses, isolating an owner beats leaving
+    it in the shared pool (isolation is the method's point), and after
+    that spare columns stay free for arrivals.  Way indices are packed
+    contiguously in input (curve) order.
+    """
+    if n_ways <= 0:
+        raise OptimizationError(f"n_ways must be positive, got {n_ways}")
+    if total_units <= 0:
+        raise OptimizationError(
+            f"total_units must be positive, got {total_units}"
+        )
+    curves = list(curves)
+    costs: List[List[float]] = []
+    for curve in curves:
+        row = [float(curve.misses_at(0))]
+        for k in range(1, n_ways + 1):
+            units = max(1, (k * total_units) // n_ways)
+            row.append(float(curve.misses_at(units)))
+        costs.append(row)
+
+    # DP cells hold (misses, owners-with-zero-ways); compared as
+    # tuples, so at equal misses the fewer-shared-owners allocation
+    # wins.
+    infinity = (float("inf"), 0)
+    n_items = len(curves)
+    best = [[infinity] * (n_ways + 1) for _ in range(n_items + 1)]
+    chosen = [[0] * (n_ways + 1) for _ in range(n_items + 1)]
+    best[0][0] = (0.0, 0)
+    for i in range(1, n_items + 1):
+        for used in range(n_ways + 1):
+            for k in range(used + 1):
+                prior = best[i - 1][used - k]
+                if prior == infinity:
+                    continue
+                cand = (prior[0] + costs[i - 1][k], prior[1] + (k == 0))
+                # Strict < (with ascending k) prefers the smallest
+                # sufficient k among isolating choices: spare columns
+                # stay free for arrivals (mirrors the set solver's
+                # preference for spare units).
+                if cand < best[i][used]:
+                    best[i][used] = cand
+                    chosen[i][used] = k
+
+    used = min(range(n_ways + 1), key=lambda w: (*best[n_items][w], w))
+    predicted = best[n_items][used][0]
+    allocation: List[int] = []
+    for i in range(n_items, 0, -1):
+        k = chosen[i][used]
+        allocation.append(k)
+        used -= k
+    allocation.reverse()
+
+    ways_by_owner: Dict[str, tuple] = {}
+    next_way = 0
+    for curve, k in zip(curves, allocation):
+        if k <= 0:
+            continue
+        ways_by_owner[curve.owner] = tuple(range(next_way, next_way + k))
+        next_way += k
+    return WayPlan(
+        ways_by_owner=ways_by_owner,
+        total_ways=n_ways,
+        predicted_misses=predicted,
+    )

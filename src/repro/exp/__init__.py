@@ -33,6 +33,14 @@ Typical use::
 """
 
 from repro.exp.cache import ProfileCache, default_cache_dir, resolve_cache
+from repro.exp.dynamic import (
+    DynamicResult,
+    DynamicScenario,
+    EpochRecord,
+    TransitionOutcome,
+    merge_networks,
+    run_dynamic,
+)
 from repro.exp.grid import AXES, Grid, sweep
 from repro.exp.runner import (
     AsyncBackend,
@@ -48,6 +56,7 @@ from repro.exp.runner import (
 )
 from repro.exp.scenario import (
     Scenario,
+    TransitionSpec,
     WorkloadSpec,
     content_hash,
     profile_from_payload,
@@ -65,6 +74,9 @@ from repro.exp.workloads import (
 __all__ = [
     "AXES",
     "AsyncBackend",
+    "DynamicResult",
+    "DynamicScenario",
+    "EpochRecord",
     "ExecutionBackend",
     "ExperimentRunner",
     "Grid",
@@ -76,12 +88,16 @@ __all__ = [
     "Scenario",
     "ScenarioOutcome",
     "ScenarioRecord",
+    "TransitionOutcome",
+    "TransitionSpec",
     "WorkloadSpec",
     "clear_caches",
     "content_hash",
     "default_cache_dir",
     "execute_scenario",
     "make_backend",
+    "merge_networks",
+    "run_dynamic",
     "profile_from_payload",
     "profile_to_payload",
     "register_workload",

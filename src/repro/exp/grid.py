@@ -27,7 +27,7 @@ from typing import Any, Callable, Dict, Iterable, Iterator, List, Sequence, Tupl
 
 from repro.core.allocation import BufferPolicy
 from repro.errors import ConfigurationError
-from repro.exp.scenario import Scenario, WorkloadSpec
+from repro.exp.scenario import Scenario, TransitionSpec, WorkloadSpec
 from repro.mem.partition import PartitionMode
 
 __all__ = ["Grid", "sweep"]
@@ -78,6 +78,16 @@ AXES: Dict[str, AxisApply] = {
     "mode": _axis_partition_mode,
     "seed": lambda s, v: replace(s, seed=v),
     "tag": lambda s, v: replace(s, tag=v),
+    # Online transitions: each value is a tuple/list of TransitionSpec
+    # (or their dict forms).  Content-hashed into scenario_id -- a
+    # dynamic point is a different experiment than its static base.
+    "transitions": lambda s, v: replace(
+        s,
+        transitions=tuple(
+            t if isinstance(t, TransitionSpec) else TransitionSpec.from_dict(t)
+            for t in v
+        ),
+    ),
     # Execution engine (reference/fast/compiled).  Not part of the
     # scenario identity: engines are bit-identical, so an engine axis
     # produces colliding scenario_ids on purpose -- it exists to prove

@@ -47,6 +47,7 @@ from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Unio
 
 from repro.cake.metrics import RunMetrics
 from repro.cake.platform import Platform
+from repro.core.allocation import optimize_way_assignment
 from repro.core.method import MethodReport
 from repro.core.profiling import ProfileResult
 from repro.errors import ConfigurationError
@@ -57,6 +58,7 @@ from repro.exp.cache import (
     clear_generation,
     resolve_cache,
 )
+from repro.exp.dynamic import run_dynamic
 from repro.exp.scenario import (
     Scenario,
     profile_from_payload,
@@ -132,7 +134,7 @@ def _axes_view(scenario: Scenario) -> Dict[str, Any]:
     """The flat filter/table view stored on every record."""
     cake = scenario.effective_cake
     geometry = cake.hierarchy.l2_geometry
-    return {
+    axes = {
         "workload": scenario.workload.name,
         "mode": scenario.partition_mode.value,
         "l2_kb": geometry.size_bytes // 1024,
@@ -146,6 +148,11 @@ def _axes_view(scenario: Scenario) -> Dict[str, Any]:
         "seed": cake.seed,
         "tag": scenario.tag,
     }
+    if scenario.transitions:
+        # Only dynamic scenarios carry the axis at all: static records
+        # (and therefore every pre-existing fingerprint) are unchanged.
+        axes["transitions"] = len(scenario.transitions)
+    return axes
 
 
 def _base_record(scenario: Scenario) -> Dict[str, Any]:
@@ -180,22 +187,48 @@ def execute_scenario(
     scenario: Scenario,
     profile: Optional[ProfileResult] = None,
     baseline: Optional[RunMetrics] = None,
+    profiles: Optional[Dict[str, ProfileResult]] = None,
 ) -> ScenarioOutcome:
     """Run one scenario with pre-measured pieces injected.
 
     ``profile`` (miss curves) and ``baseline`` (the shared-cache run)
     are computed here when missing; the runner passes cached ones.
+    Dynamic scenarios take ``profiles`` instead: one entry per
+    :meth:`~repro.exp.scenario.Scenario.profile_requirements` group.
     """
     started = time.time()
     method = scenario.build_method()
     record = _base_record(scenario)
     report: Optional[MethodReport] = None
+    replan_wall_s: Optional[List[float]] = None
 
     if baseline is None:
         baseline = _compute_baseline(scenario)
     record["metrics"]["shared"] = _metrics_payload(baseline)
 
-    if scenario.partition_mode is PartitionMode.SHARED:
+    if scenario.is_dynamic:
+        resolved: Dict[str, ProfileResult] = dict(profiles or {})
+        if profile is not None:
+            resolved.setdefault("", profile)
+        for group, requirement in scenario.profile_requirements():
+            if group not in resolved:
+                resolved[group] = _compute_profile(requirement)
+        result = run_dynamic(scenario, resolved)
+        record["metrics"]["partitioned"] = _metrics_payload(result.metrics)
+        record["plan"] = {
+            "units_by_owner": {
+                owner: units
+                for owner, (_base, units)
+                in sorted(result.initial_ranges.items())
+            },
+            "total_units": result.total_units,
+            "predicted_misses": result.predicted_misses,
+        }
+        record["transitions"] = result.transition_payloads()
+        record["epochs"] = result.epoch_payloads()
+        replan_wall_s = result.replan_wall_s()
+
+    elif scenario.partition_mode is PartitionMode.SHARED:
         pass  # the baseline is the whole experiment
 
     elif scenario.partition_mode is PartitionMode.SET_PARTITIONED:
@@ -219,22 +252,23 @@ def execute_scenario(
     elif scenario.partition_mode is PartitionMode.WAY_PARTITIONED:
         if profile is None:
             profile = _compute_profile(scenario)
-        optimization = method.optimize(profile)
-        plan = optimization.plan
-        ways = scenario.effective_cake.hierarchy.l2_geometry.ways
-        # Column caching can give at most one owner per way; rank the
-        # tasks by the set-optimizer's allocation (units desc, then
-        # name) and give the top `ways` one column each -- the paper's
-        # granularity criticism made executable.
-        ranked = sorted(
-            (owner for owner in plan.units_by_owner if owner.startswith("task:")),
-            key=lambda owner: (-plan.units_of(owner), owner),
+        cake = scenario.effective_cake
+        network = scenario.workload.build()()
+        # Column caching gets its own optimizer: owners are ranked by
+        # miss reduction *at way granularity* (k ways ~ k/ways of the
+        # unit space, k = 0 legal), not by the set plan's fine-grained
+        # unit counts -- the paper's granularity criticism made
+        # executable, and the reason way- and set-mode plans diverge.
+        way_plan = optimize_way_assignment(
+            profile.curve_list(
+                [f"task:{name}" for name in network.tasks]
+            ),
+            cake.hierarchy.l2_geometry.ways,
+            cake.n_allocation_units,
         )
-        assignment = {owner: (i,) for i, owner in enumerate(ranked[:ways])}
+        assignment = way_plan.ways_by_owner
         platform = Platform(
-            scenario.workload.build()(),
-            scenario.effective_cake,
-            mode=PartitionMode.WAY_PARTITIONED,
+            network, cake, mode=PartitionMode.WAY_PARTITIONED
         )
         platform.cache_controller.program_way_partitions(assignment)
         metrics = platform.run()
@@ -253,6 +287,11 @@ def execute_scenario(
         "created_unix": started,
         "engine": scenario.effective_cake.hierarchy.engine,
     }
+    if replan_wall_s is not None:
+        # Execution metadata like the wall times: ScenarioRecord's
+        # canonical form drops the whole timing block, so replan
+        # latency never perturbs fingerprints.
+        record["timing"]["replan_wall_s"] = replan_wall_s
     return ScenarioOutcome(record=ScenarioRecord(record), report=report)
 
 
@@ -277,6 +316,7 @@ def run_scenario(
         scenario,
         profile=_resolve_profile(scenario, task, cache=disk),
         baseline=_resolve_baseline(scenario, task, cache=disk),
+        profiles=_resolve_profile_groups(scenario, task, cache=disk),
     )
 
 
@@ -444,6 +484,34 @@ def _resolve_baseline(
     return _resolve(KIND_BASELINE, scenario, task, cache)
 
 
+def _resolve_profile_groups(
+    scenario: Scenario,
+    task: Dict[str, Any],
+    cache: Optional[ProfileCache] = None,
+) -> Optional[Dict[str, ProfileResult]]:
+    """Per-group miss curves of a dynamic scenario (else ``None``).
+
+    Each :meth:`~repro.exp.scenario.Scenario.profile_requirements`
+    entry resolves through the same memo -> disk -> inline -> compute
+    cascade as a static profile, keyed by the *requirement's* profile
+    key -- a join group whose workload was already profiled standalone
+    hits the cache and costs zero profiling passes.
+    """
+    if not (scenario.is_dynamic and scenario.needs_profile):
+        return None
+    inline = task.get("profiles") or {}
+    profiles: Dict[str, ProfileResult] = {}
+    for group, requirement in scenario.profile_requirements():
+        sub_task = {
+            "profile_key": requirement.profile_key,
+            "cache_dir": task.get("cache_dir"),
+            "persisted": task.get("persisted"),
+            "profile": inline.get(group),
+        }
+        profiles[group] = _resolve(KIND_PROFILE, requirement, sub_task, cache)
+    return profiles
+
+
 def _execute_task(task: Dict[str, Any]) -> Dict[str, Any]:
     """Execute one scenario task; returns the record payload."""
     scenario = Scenario.from_dict(task["scenario"])
@@ -451,6 +519,7 @@ def _execute_task(task: Dict[str, Any]) -> Dict[str, Any]:
         scenario,
         profile=_resolve_profile(scenario, task),
         baseline=_resolve_baseline(scenario, task),
+        profiles=_resolve_profile_groups(scenario, task),
     )
     return outcome.record.payload
 
@@ -739,7 +808,14 @@ class ExperimentRunner:
         baseline_scenarios: Dict[str, Scenario] = {}
         for scenario in scenarios:
             if scenario.needs_profile:
-                profile_scenarios.setdefault(scenario.profile_key, scenario)
+                # One requirement for a static scenario (itself); one
+                # per join group for a dynamic one -- each group's
+                # standalone profile is planned, cached and shared
+                # exactly like a static scenario's.
+                for _group, requirement in scenario.profile_requirements():
+                    profile_scenarios.setdefault(
+                        requirement.profile_key, requirement
+                    )
             baseline_scenarios.setdefault(scenario.baseline_key, scenario)
         on_disk: set = set()
         missing_profiles, profiles_from_disk = self._plan(
@@ -826,6 +902,21 @@ class ExperimentRunner:
                 if profile_key is not None and \
                         (KIND_PROFILE, profile_key) not in on_disk:
                     task["profile"] = inline_payload(KIND_PROFILE, profile_key)
+                if scenario.is_dynamic and scenario.needs_profile:
+                    # Per-group curves of a dynamic scenario travel the
+                    # same way: by cache reference when on disk, inline
+                    # otherwise (serialized once per unique key).
+                    group_payloads = {
+                        group: inline_payload(
+                            KIND_PROFILE, requirement.profile_key
+                        )
+                        for group, requirement
+                        in scenario.profile_requirements()
+                        if (KIND_PROFILE, requirement.profile_key)
+                        not in on_disk
+                    }
+                    if group_payloads:
+                        task["profiles"] = group_payloads
                 if (KIND_BASELINE, task["baseline_key"]) not in on_disk:
                     task["baseline"] = inline_payload(
                         KIND_BASELINE, task["baseline_key"]

@@ -39,6 +39,7 @@ from repro.rtos.task import TaskStats
 
 __all__ = [
     "Scenario",
+    "TransitionSpec",
     "WorkloadSpec",
     "content_hash",
     "profile_from_payload",
@@ -71,6 +72,76 @@ class WorkloadSpec:
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "WorkloadSpec":
         return cls(name=payload["name"], kwargs=dict(payload.get("kwargs", {})))
+
+
+#: Online-transition actions: a workload joins the running platform, a
+#: task group leaves it, or a bare epoch boundary is marked (the
+#: control-run shape: same epochs, no platform change).
+TRANSITION_ACTIONS = ("join", "leave", "mark")
+
+
+@dataclass(frozen=True)
+class TransitionSpec:
+    """One scheduled online transition of a dynamic scenario.
+
+    ``join`` attaches ``workload`` (its entities prefixed ``group.``)
+    at sim time ``at``, subject to admission control; ``budget``
+    optionally caps the arrival's predicted cycle cost.  ``leave``
+    detaches either a previously joined ``group`` or the explicitly
+    named base-network ``tasks``/``fifos``/``frames``.  ``mark`` only
+    closes a measurement epoch.
+    """
+
+    at: float
+    action: str
+    workload: Optional[WorkloadSpec] = None
+    group: str = ""
+    tasks: tuple = ()
+    fifos: tuple = ()
+    frames: tuple = ()
+    #: Cycle budget for admission control (join only); ``None`` = no cap.
+    budget: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.action not in TRANSITION_ACTIONS:
+            raise ValueError(
+                f"unknown transition action {self.action!r}; "
+                f"pick from {TRANSITION_ACTIONS}"
+            )
+        if self.at < 0:
+            raise ValueError(f"transition time must be >= 0, got {self.at!r}")
+        if self.action == "join" and (self.workload is None or not self.group):
+            raise ValueError("a join transition needs a workload and a group")
+        if self.action == "leave" and not (self.group or self.tasks):
+            raise ValueError("a leave transition needs a group or tasks")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "at": self.at,
+            "action": self.action,
+            "workload": None if self.workload is None
+            else self.workload.to_dict(),
+            "group": self.group,
+            "tasks": list(self.tasks),
+            "fifos": list(self.fifos),
+            "frames": list(self.frames),
+            "budget": self.budget,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "TransitionSpec":
+        workload = payload.get("workload")
+        return cls(
+            at=payload["at"],
+            action=payload["action"],
+            workload=None if workload is None
+            else WorkloadSpec.from_dict(workload),
+            group=payload.get("group", ""),
+            tasks=tuple(payload.get("tasks", ())),
+            fifos=tuple(payload.get("fifos", ())),
+            frames=tuple(payload.get("frames", ())),
+            budget=payload.get("budget"),
+        )
 
 
 def _cake_to_dict(config: CakeConfig, engine: bool = True) -> Dict[str, Any]:
@@ -198,6 +269,10 @@ class Scenario:
     seed: Optional[int] = None
     #: Free-form label for reports; not part of the scenario identity.
     tag: str = ""
+    #: Scheduled online transitions (empty = the classic static run).
+    #: Content-hashed into :attr:`scenario_id` when present; static
+    #: scenarios keep their exact pre-transition identities.
+    transitions: tuple = ()
 
     # -- derived configuration ---------------------------------------------
 
@@ -249,13 +324,19 @@ class Scenario:
         keeps it, so workers and sessions replay with the engine the
         caller picked.
         """
-        return {
+        payload = {
             "workload": self.workload.to_dict(),
             "cake": _cake_to_dict(self.effective_cake, engine=not canonical),
             "method": _method_to_dict(self.method),
             "partition_mode": self.partition_mode.value,
             "tag": self.tag,
         }
+        # Only dynamic scenarios carry the key at all: every static
+        # scenario's payload -- and therefore its scenario_id and every
+        # stored fingerprint -- is unchanged by the transitions feature.
+        if self.transitions:
+            payload["transitions"] = [t.to_dict() for t in self.transitions]
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "Scenario":
@@ -265,6 +346,10 @@ class Scenario:
             method=_method_from_dict(payload["method"]),
             partition_mode=PartitionMode(payload["partition_mode"]),
             tag=payload.get("tag", ""),
+            transitions=tuple(
+                TransitionSpec.from_dict(t)
+                for t in payload.get("transitions", ())
+            ),
         )
 
     # -- identity ----------------------------------------------------------
@@ -281,6 +366,31 @@ class Scenario:
     def needs_profile(self) -> bool:
         """Whether executing this scenario requires miss curves."""
         return self.partition_mode is not PartitionMode.SHARED
+
+    @property
+    def is_dynamic(self) -> bool:
+        """Whether this scenario schedules online transitions."""
+        return bool(self.transitions)
+
+    def profile_requirements(self) -> List[tuple]:
+        """``(group, static scenario)`` pairs whose curves this point needs.
+
+        The base workload profiles as group ``""``; every join
+        transition profiles its workload *standalone*, with the same
+        cake and method -- so each derived :attr:`profile_key` equals
+        the one a static scenario of that workload uses, and a warm
+        :class:`~repro.exp.cache.ProfileCache` makes the arrival of an
+        already-profiled task set cost zero profiling passes.
+        """
+        base = replace(self, transitions=())
+        requirements: List[tuple] = [("", base)]
+        for transition in self.transitions:
+            if transition.action == "join":
+                requirements.append(
+                    (transition.group,
+                     replace(base, workload=transition.workload))
+                )
+        return requirements
 
     @property
     def profile_key(self) -> str:
@@ -348,5 +458,7 @@ class Scenario:
             f" solver={self.method.solver}"
             f" sizes={'auto' if menu is None else list(menu)}"
             f" seed={self.effective_cake.seed}"
+            + (f" transitions={len(self.transitions)}"
+               if self.transitions else "")
             + (f" tag={self.tag}" if self.tag else "")
         )

@@ -43,8 +43,11 @@ from repro.exp import (
     ProfileCache,
     ResultStore,
     Scenario,
+    TransitionSpec,
     WorkloadSpec,
     clear_caches,
+    content_hash,
+    run_scenario,
     sweep,
 )
 from repro.exp.cache import CACHE_ENV_VAR
@@ -52,11 +55,10 @@ from repro.mem.cache import CacheGeometry
 from repro.mem.hierarchy import HierarchyConfig
 
 
-def build_grid():
-    """The 2x2 smoke grid: L2 capacity x solver, one profile key."""
+def _base_scenario() -> Scenario:
     # Four 12 KB stages against a 64/128 KB L2: the stages genuinely
     # contend for the cache, so partitioning has something to win.
-    base = Scenario(
+    return Scenario(
         workload=WorkloadSpec(
             "pipeline",
             {"n_stages": 4, "n_tokens": 24, "token_bytes": 1024,
@@ -71,7 +73,32 @@ def build_grid():
         ),
         method=MethodConfig(sizes=[1, 2, 4, 8]),
     )
-    return sweep(base, l2_size_kb=[64, 128], solver=["dp", "greedy"])
+
+
+def build_grid():
+    """The 2x2 smoke grid: L2 capacity x solver, one profile key."""
+    return sweep(_base_scenario(), l2_size_kb=[64, 128], solver=["dp", "greedy"])
+
+
+def build_dynamic_scenario() -> Scenario:
+    """One online transition: the smoke pipeline joins itself mid-run.
+
+    The join group's profile requirement is *exactly* the profile key
+    the static grid caches, so against a warm cache the arrival costs
+    zero profiling passes -- the compositional online contract.
+    """
+    base = _base_scenario()
+    return Scenario(
+        workload=base.workload,
+        cake=base.cake,
+        method=base.method,
+        transitions=(
+            TransitionSpec(
+                at=200_000.0, action="join",
+                workload=base.workload, group="late",
+            ),
+        ),
+    )
 
 
 def _check_records(store: ResultStore, problems: List[str]) -> None:
@@ -196,6 +223,42 @@ def run_smoke(cache_dir: Path, tmp: Path, expect_warm: bool) -> int:
             f"({compiled.fingerprint()} != {store.fingerprint()})"
         )
 
+    # Pass 4: one online transition.  The dynamic scenario's two
+    # profile requirements (base + join group) both map to the profile
+    # key the grid already measured, so the arrival of the
+    # already-profiled task set performs zero profiling passes; and its
+    # record (canonical form, timing excluded) must be deterministic
+    # across processes, pinned like the grid fingerprint.
+    passes_before = profiling_passes()
+    dynamic_outcome = run_scenario(build_dynamic_scenario(), cache=cache)
+    dynamic_passes = profiling_passes() - passes_before
+    if dynamic_passes != 0:
+        problems.append(
+            f"dynamic scenario performed {dynamic_passes} profiling passes "
+            f"(a warm-cache arrival must re-profile nothing)"
+        )
+    payload = dynamic_outcome.record.payload
+    transitions = payload.get("transitions") or []
+    if len(transitions) != 1 or not transitions[0]["admitted"]:
+        problems.append(f"dynamic join was not admitted: {transitions}")
+    epochs = payload.get("epochs") or []
+    if len(epochs) != 2:
+        problems.append(f"expected 2 epochs (join + end), got {len(epochs)}")
+    dynamic_fp = content_hash(dynamic_outcome.record.canonical())
+    dynamic_marker = cache_dir / "smoke.dynamic.fingerprint"
+    if expect_warm:
+        if not dynamic_marker.exists():
+            problems.append(
+                f"--expect-warm: no dynamic fingerprint at {dynamic_marker}"
+            )
+        elif dynamic_marker.read_text().strip() != dynamic_fp:
+            problems.append(
+                f"dynamic record fingerprint drift: cold run recorded "
+                f"{dynamic_marker.read_text().strip()}, warm reproduced "
+                f"{dynamic_fp}"
+            )
+    dynamic_marker.write_text(dynamic_fp + "\n")
+
     header, rows = store.to_table(
         ("l2_kb", "solver", "shared_miss_rate", "partitioned_miss_rate",
          "miss_reduction_factor")
@@ -221,7 +284,8 @@ def run_smoke(cache_dir: Path, tmp: Path, expect_warm: bool) -> int:
     print(
         "smoke ok: schema round-trips, 1 profile pass, warm re-run "
         "re-profiled nothing, compiled engine reproduced the "
-        "fingerprint from cache, interference-free"
+        "fingerprint from cache, online join admitted with zero "
+        "re-profiling, interference-free"
     )
     return 0
 

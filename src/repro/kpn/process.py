@@ -88,11 +88,23 @@ class TaskContext:
             raise NetworkError(f"unknown shared region {name!r}") from None
 
     def frame(self, name: str) -> Region:
-        """A frame buffer region by its spec name."""
-        try:
-            return self._frames[name]
-        except KeyError:
-            raise NetworkError(f"unknown frame buffer {name!r}") from None
+        """A frame buffer region by its spec name.
+
+        Resolution is namespace-aware: a task an online union network
+        calls ``group.x`` finds the frame its program names ``f`` under
+        ``group.f`` -- programs stay oblivious to whether they joined a
+        running platform or started with it.
+        """
+        candidates = [name]
+        parts = self.name.split(".")
+        for i in range(len(parts) - 1, 0, -1):
+            candidates.append(".".join(parts[:i]) + "." + name)
+        for candidate in candidates:
+            try:
+                return self._frames[candidate]
+            except KeyError:
+                continue
+        raise NetworkError(f"unknown frame buffer {name!r}")
 
     # -- ports ---------------------------------------------------------------
 

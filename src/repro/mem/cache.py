@@ -552,6 +552,33 @@ class WayManagedCache:
         self._dirty.clear()
         return flushed
 
+    def invalidate_owner(self, owner: int) -> List[int]:
+        """Drop all lines of one owner (partition reprogramming).
+
+        Mirrors :meth:`SetAssociativeCache.invalidate_owner`: returns
+        the owner's dirty line addresses in address order, counted in
+        the owner's ``writebacks``; the caller writes them back.
+        Emptied slots reset their stamp to 0, preserving the
+        empty-slot-stamp invariant of :meth:`export_state`.
+        """
+        flushed: List[int] = []
+        for set_index, slot_lines in enumerate(self._line):
+            owner_row = self._owner[set_index]
+            stamp_row = self._stamp[set_index]
+            for way, line in enumerate(slot_lines):
+                if line is None or owner_row[way] != owner:
+                    continue
+                if line in self._dirty:
+                    self._dirty.discard(line)
+                    flushed.append(line)
+                slot_lines[way] = None
+                owner_row[way] = 0
+                stamp_row[way] = 0
+        flushed.sort()
+        if flushed:
+            self.stats.owner(owner).writebacks += len(flushed)
+        return flushed
+
     def forget_history(self) -> None:
         """Reset the cold-miss classifier."""
         self._seen.clear()
@@ -566,8 +593,8 @@ class WayManagedCache:
         recency stamps, and the global stamp clock.  Empty slots carry
         stamp 0 -- which is exactly their reference value, since slots
         only start empty or become empty through :meth:`invalidate_all`
-        (both reset stamps to 0) and victim selection never reads the
-        stamp of an empty slot.
+        / :meth:`invalidate_owner` (all reset stamps to 0) and victim
+        selection never reads the stamp of an empty slot.
         """
         geometry = self.geometry
         ways = geometry.ways

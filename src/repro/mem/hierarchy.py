@@ -472,6 +472,41 @@ class MemorySystem:
                 flushed += 1
         return flushed
 
+    def quiesce(self) -> None:
+        """Prepare for a Python-side map/state mutation.
+
+        Syncs compiled-tier state down into the Python models and drops
+        the C handle, so the mutation starts from (and the next
+        compiled call re-exports) an up-to-date view.  Idempotent, and
+        a no-op on the pure-Python engines.  Every map-mutating path in
+        :class:`~repro.rtos.cachectl.CacheController` calls this: a
+        partition change against a *stale* Python view would silently
+        diverge the compiled engine from the reference.
+        """
+        self.sync_state()
+        self._drop_compiled()
+
+    def repartition_owners(self, owners, now: float = 0.0) -> int:
+        """Selectively flush+invalidate the given owner ids; returns writebacks.
+
+        The online-transition replan path uses this instead of
+        :meth:`repartition`: only the owners whose partitions move (a
+        departing group, a reshaped allocation) lose their residency --
+        survivors keep their cache contents, which is what makes a
+        transition invisible to them.  Dirty victims are written back
+        to DRAM in deterministic (level, owner, address) order.
+        """
+        self.quiesce()
+        flushed = 0
+        caches = list(self.l1s)
+        caches.append(self.l2 if self.l2 is not None else self.l2_way)
+        for cache in caches:
+            for owner in sorted(set(owners)):
+                for line in cache.invalidate_owner(owner):
+                    self.memory.access(line, True, now)
+                    flushed += 1
+        return flushed
+
     # -- compiled-tier state management ------------------------------------
 
     def sync_state(self) -> None:

@@ -126,6 +126,10 @@ class CacheController:
                 )
         if flush:
             self.mem.repartition()
+        # Always quiesce the compiled tier before mutating the maps:
+        # a translation-table change against stale C-resident state
+        # would diverge the engines (idempotent after repartition()).
+        self.mem.quiesce()
         self.mem.set_map.clear()
         self.mem.set_map.clear_default_pool()
         base_unit = 0
@@ -150,9 +154,92 @@ class CacheController:
 
     def program_way_partitions(self, ways_by_owner: Dict[str, Tuple[int, ...]]) -> None:
         """Program way (column-caching) allocations by owner name."""
+        self.mem.quiesce()
         for owner_name, ways in ways_by_owner.items():
             owner = self.registry.register(owner_name)
             self.mem.way_map.assign(owner, ways)
+
+    def release_ways(self, owner_name: str) -> None:
+        """Drop one owner's way allocation (online departure)."""
+        self.mem.quiesce()
+        self.mem.way_map.remove(self.registry.register(owner_name))
+
+    def program_set_layout(
+        self,
+        ranges_by_owner: Dict[str, Tuple[int, int]],
+        pool: Optional[Tuple[int, int]] = None,
+    ) -> None:
+        """Program the set map from explicit ``(base_unit, units)`` ranges.
+
+        Unlike :meth:`program_set_partitions`, which packs owners
+        contiguously from unit 0, the caller controls each owner's base
+        -- the contract the online engine needs: across a task
+        departure, *surviving* owners keep their exact unit ranges (and
+        therefore their cache residency).  ``pool`` optionally pins the
+        default pool for unpartitioned owners to an explicit range, so
+        it too survives transitions unmoved.
+        """
+        for owner_name, (base_unit, units) in ranges_by_owner.items():
+            if units <= 0:
+                raise PartitionError(
+                    f"owner {owner_name!r} allocated {units} units"
+                )
+            if base_unit < 0 or base_unit + units > self.total_units:
+                raise PartitionError(
+                    f"owner {owner_name!r} range ({base_unit}, {units}) "
+                    f"outside 0..{self.total_units}"
+                )
+        self.mem.quiesce()
+        self.mem.set_map.clear()
+        self.mem.set_map.clear_default_pool()
+        for owner_name, (base_unit, units) in ranges_by_owner.items():
+            owner = self.registry.register(owner_name)
+            self.mem.set_map.assign(
+                owner,
+                base=base_unit * self.unit_sets,
+                n_sets=units * self.unit_sets,
+            )
+        if pool is not None:
+            pool_base, pool_units = pool
+            self.mem.set_map.set_default_pool(
+                base=pool_base * self.unit_sets,
+                n_sets=pool_units * self.unit_sets,
+            )
+        self.mem.set_map.validate_disjoint()
+        self._programmed = {
+            owner_name: units
+            for owner_name, (_base, units) in ranges_by_owner.items()
+        }
+
+    def assign_units(self, owner_name: str, base_unit: int, units: int) -> None:
+        """Add one owner's partition at an explicit base (online arrival)."""
+        if units <= 0:
+            raise PartitionError(f"owner {owner_name!r} allocated {units} units")
+        if base_unit < 0 or base_unit + units > self.total_units:
+            raise PartitionError(
+                f"owner {owner_name!r} range ({base_unit}, {units}) "
+                f"outside 0..{self.total_units}"
+            )
+        self.mem.quiesce()
+        owner = self.registry.register(owner_name)
+        self.mem.set_map.assign(
+            owner,
+            base=base_unit * self.unit_sets,
+            n_sets=units * self.unit_sets,
+        )
+        self.mem.set_map.validate_disjoint()
+        self._programmed[owner_name] = units
+
+    def release_units(self, owner_name: str) -> None:
+        """Drop one owner's set partition (online departure).
+
+        The caller is responsible for flushing the owner's residency
+        first (:meth:`~repro.mem.hierarchy.MemorySystem.repartition_owners`);
+        afterwards the owner falls back to default-pool indexing.
+        """
+        self.mem.quiesce()
+        self.mem.set_map.remove(self.registry.register(owner_name))
+        self._programmed.pop(owner_name, None)
 
     # -- §4.2 extensions -------------------------------------------------
 
@@ -199,10 +286,12 @@ class CacheController:
         """
         owner = self.registry.register(owner_name)
         target = self.registry.register(with_owner_name)
+        self.mem.quiesce()
         self.mem.set_map.alias(owner, target)
 
     def clear_partitions(self) -> None:
         """Back to a fully shared L2."""
+        self.mem.quiesce()
         self.mem.set_map.clear()
         self._programmed = {}
 

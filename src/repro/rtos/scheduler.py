@@ -46,6 +46,7 @@ class Scheduler:
         self.n_cpus = n_cpus
         self.tasks: List[Task] = list(tasks)
         self._live = 0
+        self._expected_arrivals = 0
         self._global_queue: Deque[Task] = deque()
         self._cpu_queues: List[Deque[Task]] = [deque() for _ in range(n_cpus)]
         self._assignment: Dict[str, int] = {}
@@ -99,15 +100,83 @@ class Scheduler:
         """
         return quantum_left <= 0 and self.has_ready(cpu)
 
+    def expecting_arrivals(self) -> bool:
+        """True while future task arrivals are reserved.
+
+        CPU runners stay alive (idle) instead of exiting when the live
+        count drains to zero, so a task attached later still finds a
+        processor to run on.
+        """
+        return self._expected_arrivals > 0
+
     # -- lifecycle ---------------------------------------------------------
 
-    def start_all(self) -> None:
-        """Start every task and enqueue it as ready."""
+    def start_all(self, skip: Iterable[str] = ()) -> None:
+        """Start every task and enqueue it as ready.
+
+        Tasks named in ``skip`` stay NEW; they join later through
+        :meth:`attach` (online arrivals) or never (rejected arrivals).
+        """
+        deferred = set(skip)
         for task in self.tasks:
+            if task.name in deferred:
+                continue
             task.start()
             self._live += 1
             self._enqueue(task)
         self._wake_cpus()
+
+    def expect_arrivals(self, count: int = 1) -> None:
+        """Reserve ``count`` future arrivals (see :meth:`expecting_arrivals`)."""
+        self._expected_arrivals += count
+
+    def arrival_handled(self) -> None:
+        """Release one arrival reservation (attached *or* rejected).
+
+        Rejections must release too, and wake idle CPUs: with no live
+        tasks and no reservations left the runners may now exit.
+        """
+        if self._expected_arrivals <= 0:
+            raise SchedulingError("arrival_handled() without expect_arrivals()")
+        self._expected_arrivals -= 1
+        if self._expected_arrivals == 0 and self._live == 0:
+            self._wake_cpus()
+
+    def attach(self, task: Task) -> None:
+        """Start a deferred task mid-run and enqueue it as ready."""
+        if task.state is not TaskState.NEW:
+            raise SchedulingError(
+                f"cannot attach task {task.name!r} in state {task.state.value}"
+            )
+        task.start()
+        self._live += 1
+        self._enqueue(task)
+        self._wake_cpus()
+
+    def detach(self, task: Task) -> None:
+        """Remove a live task mid-run.
+
+        Works whatever the task is doing: READY tasks leave the queues,
+        RUNNING tasks are marked DONE so the owning runner drops them at
+        its next yield point (without double accounting), and BLOCKED
+        tasks are simply retired -- the platform clears their FIFO
+        bookkeeping before calling in here.
+        """
+        if task.state in (TaskState.NEW, TaskState.DONE):
+            raise SchedulingError(
+                f"cannot detach task {task.name!r} in state {task.state.value}"
+            )
+        if task.state is TaskState.READY:
+            try:
+                self._global_queue.remove(task)
+            except ValueError:
+                pass
+            for queue in self._cpu_queues:
+                try:
+                    queue.remove(task)
+                except ValueError:
+                    pass
+        self.task_done(task)
 
     def next_task(self, cpu: int) -> Optional[Task]:
         """Pop the next ready task for ``cpu`` (or ``None``)."""

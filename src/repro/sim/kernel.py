@@ -31,6 +31,7 @@ __all__ = [
     "Event",
     "Interrupt",
     "Process",
+    "Replan",
     "Simulator",
     "Timeout",
     "URGENT",
@@ -199,6 +200,41 @@ class Timeout(Event):
         self._ok = True
         self._value = value
         sim._enqueue(self, delay=delay, priority=NORMAL)
+
+
+class Replan(Event):
+    """An absolute-time control event that runs an action when processed.
+
+    The online scenario engine schedules one per task arrival/departure.
+    Two properties make it interact correctly with segment collection:
+
+    - it is queued at *creation*, so :meth:`Simulator.peek` -- the quiet
+      horizon bounding every collected op segment -- never extends past
+      the next replan time, and
+    - it fires with URGENT priority, so at its exact instant the action
+      runs *before* any runner timeout scheduled for the same time: ops
+      issued at or after the replan time see the new platform state on
+      every execution engine, while ops issued earlier have already
+      applied their memory effects (both the per-op and the segment path
+      execute an op's accesses at its start time).
+    """
+
+    __slots__ = ("action",)
+
+    def __init__(self, sim: "Simulator", at: float, action: Callable[[], None]):
+        if at < sim.now:
+            raise SimulationError(
+                f"replan at {at!r} is in the past (now={sim.now})"
+            )
+        super().__init__(sim)
+        self._ok = True
+        self._value = None
+        self.action = action
+        sim._enqueue(self, delay=at - sim.now, priority=URGENT)
+        self.add_callback(self._fire)
+
+    def _fire(self, _event: Event) -> None:
+        self.action()
 
 
 class Initialize(Event):
@@ -460,6 +496,14 @@ class Simulator:
     ) -> Process:
         """Register ``generator`` as a new simulation process."""
         return Process(self, generator, name=name)
+
+    def schedule_replan(self, at: float, action: Callable[[], None]) -> "Replan":
+        """Schedule ``action()`` at absolute time ``at`` (urgent).
+
+        Keeps the run alive until it fires even if all processes idle,
+        and bounds collected segments via :meth:`peek`.
+        """
+        return Replan(self, at, action)
 
     def all_of(self, events: Iterable[Event]) -> AllOf:
         """Condition event succeeding when all ``events`` succeed."""
