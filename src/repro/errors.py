@@ -42,3 +42,7 @@ class OptimizationError(ReproError):
 
 class ConfigurationError(ReproError):
     """Raised for inconsistent platform or workload configuration."""
+
+
+class ServiceError(ReproError):
+    """Raised for sweep-service failures (transport, protocol, task)."""

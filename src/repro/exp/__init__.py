@@ -19,6 +19,11 @@ package makes that the top-level API:
   scenarios through a pluggable :class:`ExecutionBackend` (inline,
   process pool, asyncio) with cached profiling and shared baselines,
   streaming records into a store.
+- :mod:`repro.exp.service` -- the distributed half: an asyncio
+  work-queue server (``python -m repro.exp.service serve``), pulling
+  workers with leases/heartbeats/retry, and :class:`RemoteBackend`
+  (``backend="remote"``) shipping the same JSON tasks over HTTP
+  against a shared profile cache.
 - :mod:`repro.exp.store` -- :class:`ResultStore`, the append-only JSONL
   record stream with indexed load/filter/to-table queries.
 
@@ -47,12 +52,22 @@ from repro.exp.runner import (
     ExecutionBackend,
     ExperimentRunner,
     InlineBackend,
+    KNOWN_BACKENDS,
     ProcessPoolBackend,
     ScenarioOutcome,
     clear_caches,
     execute_scenario,
     make_backend,
     run_scenario,
+)
+
+# Imported after runner: the service's worker and backend modules hang
+# off the runner's task protocol and AsyncBackend seam.
+from repro.exp.service import (
+    RemoteBackend,
+    ServiceClient,
+    SweepServer,
+    run_worker,
 )
 from repro.exp.scenario import (
     Scenario,
@@ -81,13 +96,17 @@ __all__ = [
     "ExperimentRunner",
     "Grid",
     "InlineBackend",
+    "KNOWN_BACKENDS",
     "ProcessPoolBackend",
     "ProfileCache",
+    "RemoteBackend",
     "ResultStore",
     "SCHEMA_VERSION",
     "Scenario",
     "ScenarioOutcome",
     "ScenarioRecord",
+    "ServiceClient",
+    "SweepServer",
     "TransitionOutcome",
     "TransitionSpec",
     "WorkloadSpec",
@@ -106,6 +125,7 @@ __all__ = [
     "run_metrics_from_payload",
     "run_metrics_to_payload",
     "run_scenario",
+    "run_worker",
     "sweep",
     "workload_builder",
 ]

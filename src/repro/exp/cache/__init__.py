@@ -503,6 +503,13 @@ def main(argv: Optional[list] = None) -> int:
                 "omitted: remove only crashed-writer litter, keep "
                 "every valid entry)",
             )
+        if name == "stats":
+            command.add_argument(
+                "--json",
+                action="store_true",
+                help="emit the stats dict as one JSON object (for the "
+                "sweep service /status endpoint and scripts)",
+            )
     args = parser.parse_args(argv)
 
     cache = ProfileCache(args.dir)
@@ -516,6 +523,9 @@ def main(argv: Optional[list] = None) -> int:
         )
     elif args.command == "stats":
         stats = cache.stats()
+        if args.json:
+            print(json.dumps(stats, sort_keys=True))
+            return 0
         print(f"profile cache at {stats['root']}")
         for kind in _KINDS:
             info = stats["kinds"][kind]

@@ -74,6 +74,7 @@ __all__ = [
     "ExecutionBackend",
     "ExperimentRunner",
     "InlineBackend",
+    "KNOWN_BACKENDS",
     "ProcessPoolBackend",
     "ScenarioOutcome",
     "clear_caches",
@@ -632,6 +633,21 @@ class AsyncBackend(ExecutionBackend):
             )
         self.concurrency = concurrency
 
+    async def _dispatch(
+        self, worker, task: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        """Run one task once the concurrency gate admits it.
+
+        THE transport seam: the base class awaits a thread-pool
+        executor; :class:`~repro.exp.service.RemoteBackend` overrides
+        exactly this coroutine with a network await (submit to the
+        sweep server, poll for the result) and inherits all the
+        ordering, streaming and cleanup machinery unchanged.
+        """
+        return await asyncio.get_running_loop().run_in_executor(
+            None, worker, task
+        )
+
     def map(self, worker, tasks):
         tasks = list(tasks)
         if not tasks:
@@ -651,9 +667,7 @@ class AsyncBackend(ExecutionBackend):
 
             async def one(task: Dict[str, Any]) -> Dict[str, Any]:
                 async with gate:
-                    return await asyncio.get_running_loop().run_in_executor(
-                        None, worker, task
-                    )
+                    return await self._dispatch(worker, task)
 
             futures = [
                 asyncio.run_coroutine_threadsafe(one(task), loop)
@@ -688,14 +702,23 @@ class AsyncBackend(ExecutionBackend):
         return f"<AsyncBackend concurrency={self.concurrency}>"
 
 
+#: Names make_backend understands (reported whole on a bad spec).
+KNOWN_BACKENDS = ("auto", "inline", "pool", "async", "remote")
+
+
 def make_backend(
     spec: Union[None, str, ExecutionBackend], workers: int = 1
 ) -> ExecutionBackend:
     """Normalise a user-facing backend argument.
 
     ``None`` picks inline for ``workers=1`` and a process pool
-    otherwise (the historical behaviour); strings name a backend kind;
-    instances pass through.
+    otherwise (the historical behaviour); strings name a backend kind
+    (see :data:`KNOWN_BACKENDS`); instances pass through.  ``remote``
+    ships the sweep to the server named by ``$REPRO_SWEEP_SERVER``
+    (construct :class:`~repro.exp.service.RemoteBackend` directly to
+    name a URL explicitly); ``workers`` then caps the client-side
+    in-flight tasks, with a fleet-friendly floor so the default
+    ``workers=1`` does not serialise the server's whole fleet.
     """
     if isinstance(spec, ExecutionBackend):
         return spec
@@ -707,8 +730,17 @@ def make_backend(
         return ProcessPoolBackend(workers)
     if spec == "async":
         return AsyncBackend(concurrency=workers)
+    if spec == "remote":
+        # Imported here: the service package imports this module for
+        # the JSON task callables, so the dependency must stay one-way
+        # at import time.
+        from repro.exp.service import RemoteBackend
+
+        return RemoteBackend(concurrency=max(workers, 16))
     raise ConfigurationError(
-        f"unknown backend {spec!r} (known: inline, pool, async, auto)"
+        f"unknown backend {spec!r} "
+        f"(known backends: {', '.join(KNOWN_BACKENDS)}; pass one of "
+        f"these names or an ExecutionBackend instance)"
     )
 
 

@@ -1,0 +1,48 @@
+"""Distributed sweeps: a work-queue server, workers, and RemoteBackend.
+
+The missing half the transport seam was built for.  Since PR 3 every
+backend has moved *only* JSON task dicts that reference measurements
+by cache path + content key; this package adds the network transport
+so those same tasks cross machines:
+
+- :mod:`repro.exp.service.queue` -- :class:`WorkQueue`: leases with
+  deadlines, bounded retry with exponential backoff, content-addressed
+  task dedupe, first-result-wins collection, draining.
+- :mod:`repro.exp.service.server` -- :class:`SweepServer`: a
+  hand-rolled asyncio HTTP/1.1 face over the queue (stdlib only),
+  with ``/status`` observability and a lease-expiry sweeper.
+- :mod:`repro.exp.service.worker` -- the pulling worker loop
+  (``python -m repro.exp.service worker``): heartbeats, graceful
+  shutdown, per-task profiling-pass accounting.
+- :mod:`repro.exp.service.backend` -- :class:`RemoteBackend`, the
+  :class:`~repro.exp.runner.AsyncBackend` subclass whose ``_dispatch``
+  awaits the network instead of a thread pool; plug it in with
+  ``ExperimentRunner(backend="remote")`` (``$REPRO_SWEEP_SERVER``) or
+  ``backend=RemoteBackend(url)``.
+- :mod:`repro.exp.service.client` / :mod:`~repro.exp.service.cli` --
+  the synchronous client and the ``serve``/``worker``/``submit``/
+  ``status``/``drain`` CLI.
+
+The contract mirrors the rest of the platform: a grid run via server
+plus N workers produces a :class:`~repro.exp.store.ResultStore`
+fingerprint byte-identical to :class:`~repro.exp.runner.InlineBackend`,
+and against a warm shared :class:`~repro.exp.cache.ProfileCache` the
+fleet performs zero profiling passes (observable at ``/status``).
+"""
+
+from repro.exp.service.backend import RemoteBackend
+from repro.exp.service.client import SERVER_ENV_VAR, ServiceClient
+from repro.exp.service.queue import WorkQueue, task_identity
+from repro.exp.service.server import SweepServer
+from repro.exp.service.worker import TASK_FUNCTIONS, run_worker
+
+__all__ = [
+    "RemoteBackend",
+    "SERVER_ENV_VAR",
+    "ServiceClient",
+    "SweepServer",
+    "TASK_FUNCTIONS",
+    "WorkQueue",
+    "run_worker",
+    "task_identity",
+]

@@ -1,0 +1,8 @@
+"""Entry point for ``python -m repro.exp.service``."""
+
+import sys
+
+from repro.exp.service.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,157 @@
+"""Synchronous client for the sweep service (workers, CLI, scripts).
+
+A thin typed veneer over the wire protocol: every method is one JSON
+request.  The only stateful nicety is :meth:`wait_healthy`, which
+polls ``/health`` so scripts can start a server and a client without
+choreographing startup order.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ServiceError
+from repro.exp.service.wire import parse_server_url, request
+
+__all__ = ["SERVER_ENV_VAR", "ServiceClient", "resolve_server_url"]
+
+#: Environment override naming the sweep server, honoured by
+#: ``RemoteBackend(url=None)`` and every service CLI subcommand.
+SERVER_ENV_VAR = "REPRO_SWEEP_SERVER"
+
+
+def resolve_server_url(url: Optional[str]) -> str:
+    """An explicit URL, else ``$REPRO_SWEEP_SERVER``, else an error."""
+    resolved = url or os.environ.get(SERVER_ENV_VAR)
+    if not resolved:
+        raise ServiceError(
+            f"no sweep server named: pass url= (e.g. "
+            f"http://127.0.0.1:8642) or set ${SERVER_ENV_VAR}"
+        )
+    return resolved
+
+
+class ServiceClient:
+    """Blocking JSON client bound to one server URL."""
+
+    def __init__(self, url: Optional[str] = None, timeout: float = 30.0):
+        self.url = resolve_server_url(url)
+        self.host, self.port = parse_server_url(self.url)
+        self.timeout = timeout
+
+    def _call(
+        self, method: str, path: str, payload: Optional[Any] = None
+    ) -> Any:
+        return request(
+            self.host, self.port, method, path, payload,
+            timeout=self.timeout,
+        )
+
+    # -- submitting + collecting -------------------------------------------
+
+    def submit(self, tasks: List[Dict[str, Any]]) -> List[str]:
+        """Submit ``[{"fn", "task"}, ...]``; returns task ids in order."""
+        return self._call("POST", "/submit", {"tasks": tasks})["ids"]
+
+    def result(self, task_id: str) -> Dict[str, Any]:
+        return self._call("GET", f"/result?id={task_id}")
+
+    def wait_result(
+        self,
+        task_id: str,
+        timeout: float = 600.0,
+        poll_interval: float = 0.1,
+    ) -> Dict[str, Any]:
+        """Poll until the task is terminal; returns its result payload.
+
+        Raises :class:`ServiceError` when the task failed (bounded
+        retries exhausted) or the timeout elapses.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            reply = self.result(task_id)
+            state = reply.get("state")
+            if state == "done":
+                return reply["result"]
+            if state == "failed":
+                raise ServiceError(
+                    f"task {task_id} failed after "
+                    f"{reply.get('attempts')} attempts: {reply.get('error')}"
+                )
+            if state == "unknown":
+                raise ServiceError(
+                    f"task {task_id} is unknown to {self.url} "
+                    f"(evicted or never submitted)"
+                )
+            if time.monotonic() > deadline:
+                raise ServiceError(
+                    f"timed out after {timeout}s waiting on task "
+                    f"{task_id} (state: {state})"
+                )
+            time.sleep(poll_interval)
+
+    # -- worker side -------------------------------------------------------
+
+    def lease(self, worker: str) -> Dict[str, Any]:
+        """``{"task": {...}|None, "draining": bool}``."""
+        return self._call("POST", "/lease", {"worker": worker})
+
+    def heartbeat(
+        self, worker: str, lease_id: Optional[str] = None
+    ) -> Dict[str, Any]:
+        return self._call(
+            "POST", "/heartbeat", {"worker": worker, "lease_id": lease_id}
+        )
+
+    def complete(
+        self,
+        task_id: str,
+        result: Any,
+        worker: Optional[str] = None,
+        stats: Optional[Dict[str, Any]] = None,
+    ) -> bool:
+        reply = self._call("POST", "/complete", {
+            "task_id": task_id, "result": result,
+            "worker": worker, "stats": stats,
+        })
+        return reply["accepted"]
+
+    def fail(
+        self, task_id: str, error: str, worker: Optional[str] = None
+    ) -> bool:
+        reply = self._call("POST", "/fail", {
+            "task_id": task_id, "error": error, "worker": worker,
+        })
+        return reply["retry"]
+
+    # -- operations --------------------------------------------------------
+
+    def status(self) -> Dict[str, Any]:
+        return self._call("GET", "/status")
+
+    def drain(self) -> None:
+        self._call("POST", "/drain", {})
+
+    def health(self) -> bool:
+        try:
+            return bool(self._call("GET", "/health").get("ok"))
+        except ServiceError:
+            return False
+
+    def wait_healthy(
+        self, timeout: float = 10.0, poll_interval: float = 0.1
+    ) -> None:
+        """Block until ``/health`` answers; for startup choreography."""
+        deadline = time.monotonic() + timeout
+        while not self.health():
+            if time.monotonic() > deadline:
+                raise ServiceError(
+                    f"no healthy sweep service at {self.url} "
+                    f"after {timeout}s"
+                )
+            time.sleep(poll_interval)
+
+    def __repr__(self) -> str:
+        return f"<ServiceClient {self.url}>"

@@ -1,0 +1,372 @@
+"""The work queue: leased tasks, bounded retries, idempotent results.
+
+:class:`WorkQueue` is the server's whole brain, kept deliberately free
+of any transport so every contract is unit-testable with a fake clock:
+
+- **Content-addressed task identity.**  A submission is
+  ``{"fn": <protocol function>, "task": <JSON task dict>}`` and its id
+  is the content hash of exactly that payload.  Re-submitting a task --
+  same grid from a second client, a retried client call, a duplicated
+  scenario inside one grid -- lands on the *same* id: at most one
+  execution, every submitter collects the one result.  This is safe
+  because every task in the JSON protocol is a pure function of its
+  payload (the same property that makes backend fingerprints agree).
+- **Leases, not assignments.**  A worker *leases* a task for
+  ``lease_ttl`` seconds and must heartbeat to keep it; a lease that
+  expires (worker killed, wedged, partitioned) silently requeues the
+  task for the next worker.  Requeues are bounded (``max_attempts``)
+  with exponential backoff, so a task that genuinely cannot run ends
+  in a terminal ``failed`` state instead of looping forever.
+- **First result wins.**  A completion is accepted exactly once per
+  task; late duplicates -- the classic expired-lease race where the
+  presumed-dead worker finishes anyway -- are counted and dropped.
+  Both results are identical by purity, so dropping is lossless.
+- **Draining.**  ``drain()`` stops new leases and tells pulling
+  workers to exit; pending results stay collectable.
+
+Done results are kept for idempotent re-submission but bounded by
+``result_budget``: beyond it the oldest done entries are evicted, and
+an evicted task simply re-executes if someone re-submits it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import ServiceError
+from repro.exp.scenario import content_hash
+
+__all__ = ["WorkQueue", "task_identity"]
+
+#: Task lifecycle states.
+PENDING = "pending"
+LEASED = "leased"
+DONE = "done"
+FAILED = "failed"
+
+
+def task_identity(fn: str, task: Dict[str, Any]) -> str:
+    """The content-addressed id of one submission."""
+    return content_hash({"fn": fn, "task": task})
+
+
+class _Entry:
+    """One task's full server-side state."""
+
+    __slots__ = (
+        "task_id", "fn", "task", "state", "attempts", "not_before",
+        "worker", "lease_id", "deadline", "result", "error",
+    )
+
+    def __init__(self, task_id: str, fn: str, task: Dict[str, Any]):
+        self.task_id = task_id
+        self.fn = fn
+        self.task = task
+        self.state = PENDING
+        self.attempts = 0          # leases consumed (expiry or failure)
+        self.not_before = 0.0      # backoff gate for re-leasing
+        self.worker: Optional[str] = None
+        self.lease_id: Optional[str] = None
+        self.deadline = 0.0
+        self.result: Optional[Dict[str, Any]] = None
+        self.error: Optional[str] = None
+
+
+class WorkQueue:
+    """Thread-safe lease queue with deadlines, retries and dedupe."""
+
+    def __init__(
+        self,
+        lease_ttl: float = 30.0,
+        max_attempts: int = 3,
+        backoff_base: float = 0.5,
+        result_budget: int = 100_000,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if lease_ttl <= 0:
+            raise ServiceError(f"lease_ttl must be > 0, got {lease_ttl}")
+        if max_attempts < 1:
+            raise ServiceError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.lease_ttl = lease_ttl
+        self.max_attempts = max_attempts
+        self.backoff_base = backoff_base
+        self.result_budget = result_budget
+        self.clock = clock
+        self._lock = threading.Lock()
+        #: task_id -> entry, in submission order (OrderedDict so result
+        #: eviction is oldest-first without a second structure).
+        self._entries: "OrderedDict[str, _Entry]" = OrderedDict()
+        #: FIFO of pending task ids (may hold ids re-queued by expiry).
+        self._pending: List[str] = []
+        self._lease_counter = 0
+        self.draining = False
+        #: worker id -> liveness + work accounting (heartbeats land here).
+        self.workers: Dict[str, Dict[str, Any]] = {}
+        self.counters = {
+            "submitted": 0, "deduped": 0, "completed": 0,
+            "failed_tasks": 0, "retries": 0, "expired_leases": 0,
+            "duplicate_results": 0, "profiling_passes": 0,
+        }
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, fn: str, task: Dict[str, Any]) -> str:
+        """Enqueue one task; returns its content-addressed id.
+
+        Idempotent: a known id (pending, leased, done or failed) is
+        returned as-is and counted as a dedupe -- except a *failed*
+        task, which a fresh submission revives for another full round
+        of attempts (the submitter is asking again; the transient that
+        killed it may be gone).
+        """
+        task_id = task_identity(fn, task)
+        with self._lock:
+            entry = self._entries.get(task_id)
+            if entry is not None:
+                if entry.state == FAILED:
+                    entry.state = PENDING
+                    entry.attempts = 0
+                    entry.error = None
+                    entry.not_before = 0.0
+                    self._pending.append(task_id)
+                else:
+                    self.counters["deduped"] += 1
+                return task_id
+            self.counters["submitted"] += 1
+            self._entries[task_id] = _Entry(task_id, fn, task)
+            self._pending.append(task_id)
+            self._evict_done()
+            return task_id
+
+    def _evict_done(self) -> None:
+        """Drop oldest done results beyond the retention budget."""
+        done = [
+            tid for tid, e in self._entries.items() if e.state == DONE
+        ]
+        excess = len(done) - self.result_budget
+        for tid in done[:max(0, excess)]:
+            del self._entries[tid]
+
+    # -- leasing -----------------------------------------------------------
+
+    def lease(self, worker: str) -> Optional[Dict[str, Any]]:
+        """Hand the oldest eligible pending task to ``worker``.
+
+        Returns ``{"task_id", "lease_id", "fn", "task", "attempt",
+        "lease_ttl"}`` or ``None`` when nothing is ready (empty queue,
+        everything backing off, or draining).
+        """
+        now = self.clock()
+        with self._lock:
+            self._touch_worker(worker, now)
+            if self.draining:
+                return None
+            for index, task_id in enumerate(self._pending):
+                entry = self._entries.get(task_id)
+                if entry is None or entry.state != PENDING:
+                    continue  # stale id (completed inline / evicted)
+                if entry.not_before > now:
+                    continue  # backing off after a failure
+                del self._pending[index]
+                self._lease_counter += 1
+                entry.state = LEASED
+                entry.worker = worker
+                entry.lease_id = f"L{self._lease_counter}"
+                entry.deadline = now + self.lease_ttl
+                return {
+                    "task_id": entry.task_id,
+                    "lease_id": entry.lease_id,
+                    "fn": entry.fn,
+                    "task": entry.task,
+                    "attempt": entry.attempts + 1,
+                    "lease_ttl": self.lease_ttl,
+                }
+            return None
+
+    def heartbeat(
+        self, worker: str, lease_id: Optional[str] = None
+    ) -> bool:
+        """Record worker liveness; extend the named lease if still held.
+
+        Returns whether the lease is still valid (a worker whose lease
+        expired and was re-queued learns here that its work is moot).
+        """
+        now = self.clock()
+        with self._lock:
+            self._touch_worker(worker, now)
+            if lease_id is None:
+                return True
+            for entry in self._entries.values():
+                if entry.state == LEASED and entry.lease_id == lease_id:
+                    entry.deadline = now + self.lease_ttl
+                    return True
+            return False
+
+    def _touch_worker(self, worker: str, now: float) -> None:
+        info = self.workers.setdefault(
+            worker,
+            {"completed": 0, "failed": 0, "profiling_passes": 0,
+             "wall_s": 0.0, "last_seen": now},
+        )
+        info["last_seen"] = now
+
+    # -- completion --------------------------------------------------------
+
+    def complete(
+        self,
+        task_id: str,
+        result: Dict[str, Any],
+        worker: Optional[str] = None,
+        stats: Optional[Dict[str, Any]] = None,
+    ) -> bool:
+        """Store ``result`` for ``task_id``; first completion wins.
+
+        A duplicate (late finish after lease expiry and re-execution)
+        is dropped and counted.  Returns whether this result was the
+        one accepted.
+        """
+        now = self.clock()
+        with self._lock:
+            if worker is not None:
+                self._touch_worker(worker, now)
+                info = self.workers[worker]
+                info["completed"] += 1
+                for key in ("profiling_passes", "wall_s"):
+                    if stats and key in stats:
+                        info[key] += stats[key]
+                if stats and "profiling_passes" in stats:
+                    self.counters["profiling_passes"] += \
+                        stats["profiling_passes"]
+            entry = self._entries.get(task_id)
+            if entry is None:
+                return False  # evicted: nothing waits on it
+            if entry.state == DONE:
+                self.counters["duplicate_results"] += 1
+                return False
+            entry.state = DONE
+            entry.result = result
+            entry.worker = None
+            entry.lease_id = None
+            self.counters["completed"] += 1
+            return True
+
+    def fail(
+        self,
+        task_id: str,
+        error: str,
+        worker: Optional[str] = None,
+    ) -> bool:
+        """Report a task execution failure; requeue or give up.
+
+        Counts one attempt.  Under ``max_attempts`` the task re-enters
+        the queue after an exponential backoff; at the bound it turns
+        terminally ``failed`` and collectors see ``error``.  Returns
+        whether the task will be retried.
+        """
+        now = self.clock()
+        with self._lock:
+            if worker is not None:
+                self._touch_worker(worker, now)
+                self.workers[worker]["failed"] += 1
+            entry = self._entries.get(task_id)
+            if entry is None or entry.state == DONE:
+                return False
+            return self._requeue(entry, error, now)
+
+    def _requeue(self, entry: _Entry, error: str, now: float) -> bool:
+        """One consumed attempt: back off and retry, or fail for good."""
+        entry.attempts += 1
+        entry.worker = None
+        entry.lease_id = None
+        if entry.attempts >= self.max_attempts:
+            entry.state = FAILED
+            entry.error = error
+            self.counters["failed_tasks"] += 1
+            return False
+        entry.state = PENDING
+        entry.error = error
+        entry.not_before = now + self.backoff_base * (
+            2 ** (entry.attempts - 1)
+        )
+        self._pending.append(entry.task_id)
+        self.counters["retries"] += 1
+        return True
+
+    def expire(self) -> int:
+        """Requeue every lease past its deadline; returns how many."""
+        now = self.clock()
+        expired = 0
+        with self._lock:
+            for entry in self._entries.values():
+                if entry.state == LEASED and entry.deadline < now:
+                    self.counters["expired_leases"] += 1
+                    self._requeue(
+                        entry,
+                        f"lease {entry.lease_id} by {entry.worker!r} "
+                        f"expired after {self.lease_ttl}s",
+                        now,
+                    )
+                    expired += 1
+            return expired
+
+    # -- collection --------------------------------------------------------
+
+    def get_result(self, task_id: str) -> Dict[str, Any]:
+        """The task's state, plus its result or error when terminal."""
+        with self._lock:
+            entry = self._entries.get(task_id)
+            if entry is None:
+                return {"state": "unknown"}
+            payload: Dict[str, Any] = {
+                "state": entry.state, "attempts": entry.attempts,
+            }
+            if entry.state == DONE:
+                payload["result"] = entry.result
+            elif entry.state == FAILED:
+                payload["error"] = entry.error
+            return payload
+
+    # -- lifecycle / introspection ----------------------------------------
+
+    def drain(self) -> None:
+        """Stop leasing; pulling workers are told to shut down."""
+        with self._lock:
+            self.draining = True
+
+    def status(self) -> Dict[str, Any]:
+        """Queue depths, in-flight leases, worker liveness, counters."""
+        now = self.clock()
+        with self._lock:
+            by_state = {PENDING: 0, LEASED: 0, DONE: 0, FAILED: 0}
+            leases = []
+            for entry in self._entries.values():
+                by_state[entry.state] += 1
+                if entry.state == LEASED:
+                    leases.append({
+                        "task_id": entry.task_id,
+                        "worker": entry.worker,
+                        "attempt": entry.attempts + 1,
+                        "expires_in_s": round(entry.deadline - now, 3),
+                    })
+            workers = {
+                name: {
+                    "completed": info["completed"],
+                    "failed": info["failed"],
+                    "profiling_passes": info["profiling_passes"],
+                    "wall_s": round(info["wall_s"], 3),
+                    "last_seen_s_ago": round(now - info["last_seen"], 3),
+                }
+                for name, info in sorted(self.workers.items())
+            }
+            return {
+                "draining": self.draining,
+                "lease_ttl": self.lease_ttl,
+                "max_attempts": self.max_attempts,
+                "queue": dict(by_state, **{"depth": by_state[PENDING]}),
+                "leases": leases,
+                "workers": workers,
+                "counters": dict(self.counters),
+            }

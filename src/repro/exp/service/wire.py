@@ -1,0 +1,249 @@
+"""Minimal HTTP/1.1 JSON framing -- stdlib only, both directions.
+
+The sweep service speaks the smallest useful slice of HTTP/1.1: one
+request per connection (``Connection: close``), JSON bodies, explicit
+``Content-Length``.  The server side parses requests off asyncio
+streams; the client side ships both a synchronous request (built on
+:mod:`http.client`, used by workers and the CLI) and a coroutine one
+(built on asyncio streams, used by :class:`RemoteBackend` so a network
+await replaces ``run_in_executor`` without any thread hops).
+
+No third-party dependency, no framework: the protocol surface is six
+tiny endpoints and the whole point of hand-rolling is that the wire
+format stays visible and testable.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import socket
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qsl, urlsplit
+
+from repro.errors import ServiceError
+
+__all__ = [
+    "Request",
+    "arequest",
+    "parse_server_url",
+    "read_request",
+    "request",
+    "write_response",
+]
+
+#: Largest accepted request body; a grid submission is a few MB at the
+#: extreme, so this mostly guards the server against garbage traffic.
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class Request:
+    """One parsed request: method, path, query dict, JSON body."""
+
+    def __init__(
+        self,
+        method: str,
+        path: str,
+        query: Dict[str, str],
+        body: Optional[Any],
+    ):
+        self.method = method
+        self.path = path
+        self.query = query
+        self.body = body
+
+    def __repr__(self) -> str:
+        return f"<Request {self.method} {self.path}>"
+
+
+class BadRequest(ServiceError):
+    """The peer sent something that is not a well-formed request."""
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
+    """Parse one HTTP/1.1 request; ``None`` on a cleanly closed socket."""
+    line = await reader.readline()
+    if not line:
+        return None  # peer connected and went away
+    try:
+        method, target, _version = line.decode("ascii").split(" ", 2)
+    except (UnicodeDecodeError, ValueError):
+        raise BadRequest("malformed request line")
+    headers: Dict[str, str] = {}
+    while True:
+        raw = await reader.readline()
+        if raw in (b"\r\n", b"\n", b""):
+            break
+        name, sep, value = raw.decode("latin-1").partition(":")
+        if not sep:
+            raise BadRequest(f"malformed header line {raw!r}")
+        headers[name.strip().lower()] = value.strip()
+    try:
+        length = int(headers.get("content-length", "0"))
+    except ValueError:
+        raise BadRequest("bad Content-Length")
+    if not 0 <= length <= MAX_BODY_BYTES:
+        raise BadRequest(f"refusing body of {length} bytes")
+    body: Optional[Any] = None
+    if length:
+        data = await reader.readexactly(length)
+        try:
+            body = json.loads(data)
+        except ValueError:
+            raise BadRequest("body is not valid JSON")
+    path, _, query_string = target.partition("?")
+    return Request(method.upper(), path, dict(parse_qsl(query_string)), body)
+
+
+def _encode_response(status: int, payload: Any) -> bytes:
+    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    head = (
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: close\r\n\r\n"
+    )
+    return head.encode("ascii") + body
+
+
+async def write_response(
+    writer: asyncio.StreamWriter, status: int, payload: Any
+) -> None:
+    """Send one JSON response and flush (the connection then closes)."""
+    writer.write(_encode_response(status, payload))
+    await writer.drain()
+
+
+def parse_server_url(url: str) -> Tuple[str, int]:
+    """``http://host:port`` (or bare ``host:port``) -> ``(host, port)``."""
+    if "//" not in url:
+        url = "http://" + url
+    parts = urlsplit(url)
+    if parts.scheme not in ("", "http"):
+        raise ServiceError(
+            f"sweep service URLs are plain http, got {url!r}"
+        )
+    if not parts.hostname or not parts.port:
+        raise ServiceError(
+            f"server URL needs host and port, got {url!r} "
+            f"(expected e.g. http://127.0.0.1:8642)"
+        )
+    return parts.hostname, parts.port
+
+
+def request(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    payload: Optional[Any] = None,
+    timeout: float = 30.0,
+) -> Any:
+    """One synchronous JSON request; returns the decoded response body.
+
+    Raises :class:`ServiceError` on any non-200 status or transport
+    problem (connection refused surfaces as ``ServiceError`` too, so
+    callers retry one exception type).
+    """
+    body = None if payload is None else json.dumps(payload)
+    try:
+        conn = http.client.HTTPConnection(host, port, timeout=timeout)
+        try:
+            conn.request(
+                method, path, body=body,
+                headers={"Content-Type": "application/json",
+                         "Connection": "close"},
+            )
+            response = conn.getresponse()
+            data = response.read()
+        finally:
+            conn.close()
+    except (OSError, http.client.HTTPException) as exc:
+        raise ServiceError(
+            f"sweep service at {host}:{port} unreachable: {exc}"
+        ) from exc
+    return _decode_reply(response.status, data, host, port, path)
+
+
+async def arequest(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    payload: Optional[Any] = None,
+    timeout: float = 30.0,
+) -> Any:
+    """The coroutine twin of :func:`request`, over asyncio streams."""
+    body = b"" if payload is None else json.dumps(payload).encode("utf-8")
+    head = (
+        f"{method} {path} HTTP/1.1\r\n"
+        f"Host: {host}:{port}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: close\r\n\r\n"
+    )
+    try:
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port), timeout
+        )
+    except (OSError, asyncio.TimeoutError) as exc:
+        raise ServiceError(
+            f"sweep service at {host}:{port} unreachable: {exc}"
+        ) from exc
+    try:
+        writer.write(head.encode("ascii") + body)
+        await writer.drain()
+        status_line = await asyncio.wait_for(reader.readline(), timeout)
+        try:
+            status = int(status_line.decode("ascii").split(" ", 2)[1])
+        except (IndexError, UnicodeDecodeError, ValueError) as exc:
+            raise ServiceError(
+                f"garbled response from {host}:{port}: {status_line!r}"
+            ) from exc
+        length = 0
+        while True:
+            raw = await asyncio.wait_for(reader.readline(), timeout)
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value.strip())
+        data = await asyncio.wait_for(
+            reader.readexactly(length), timeout
+        ) if length else b""
+    except (OSError, asyncio.IncompleteReadError,
+            asyncio.TimeoutError) as exc:
+        raise ServiceError(
+            f"sweep service at {host}:{port} dropped the connection: {exc}"
+        ) from exc
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (OSError, socket.error):  # pragma: no cover - close race
+            pass
+    return _decode_reply(status, data, host, port, path)
+
+
+def _decode_reply(
+    status: int, data: bytes, host: str, port: int, path: str
+) -> Any:
+    try:
+        decoded = json.loads(data) if data else None
+    except ValueError as exc:
+        raise ServiceError(
+            f"non-JSON response from {host}:{port}{path}: {data[:200]!r}"
+        ) from exc
+    if status != 200:
+        detail = decoded.get("error") if isinstance(decoded, dict) else decoded
+        raise ServiceError(
+            f"sweep service {host}:{port}{path} returned {status}: {detail}"
+        )
+    return decoded

@@ -118,14 +118,24 @@ def _check_records(store: ResultStore, problems: List[str]) -> None:
             )
 
 
-def run_smoke(cache_dir: Path, tmp: Path, expect_warm: bool) -> int:
+def run_smoke(
+    cache_dir: Path,
+    tmp: Path,
+    expect_warm: bool,
+    backend: Optional[str] = None,
+) -> int:
     scenarios = build_grid()
     cache = ProfileCache(cache_dir)
     problems: List[str] = []
 
     # Pass 1: parallel runner against the (possibly pre-warmed) cache.
+    # ``backend`` overrides the transport (the CI service job passes
+    # "remote" to ship this pass through a server + worker fleet); the
+    # later passes stay inline, so their fingerprint checks double as
+    # a transport-vs-inline differential gate.
     runner = ExperimentRunner(
-        workers=2, store_path=str(tmp / "smoke.jsonl"), cache=cache
+        workers=2, store_path=str(tmp / "smoke.jsonl"), cache=cache,
+        backend=backend,
     )
     store = runner.run(scenarios)
     stats = runner.last_stats
@@ -301,12 +311,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="assert the profile cache is already warm (zero profiling "
         "passes even on the first run of this process)",
     )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        help="execution backend for the first grid pass (e.g. 'remote' "
+        "to ship it through a running sweep server + worker fleet; "
+        "default: a 2-worker process pool)",
+    )
     args = parser.parse_args(argv)
 
     env_dir = os.environ.get(CACHE_ENV_VAR)
     with tempfile.TemporaryDirectory() as tmp:
         cache_dir = Path(env_dir) if env_dir else Path(tmp) / "cache"
-        return run_smoke(cache_dir, Path(tmp), args.expect_warm)
+        return run_smoke(
+            cache_dir, Path(tmp), args.expect_warm, backend=args.backend
+        )
 
 
 if __name__ == "__main__":

@@ -16,6 +16,7 @@ definitions can evolve without invalidating old stores.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
@@ -169,13 +170,30 @@ class ResultStore:
     # -- building ----------------------------------------------------------
 
     def append(self, record: Union[ScenarioRecord, Dict[str, Any]]) -> ScenarioRecord:
-        """Add one record, mirroring it to the JSONL file if attached."""
+        """Add one record, mirroring it to the JSONL file if attached.
+
+        The mirror write is one ``os.write`` on an ``O_APPEND``
+        descriptor -- the kernel serialises the offset update, so
+        concurrent appenders (a sweep service worker fleet and a local
+        run sharing one store file) interleave whole lines, never
+        torn ones.  No userspace buffering: the line is durable in the
+        page cache when this returns, so a crashed sweep keeps every
+        record it streamed.
+        """
         if not isinstance(record, ScenarioRecord):
             record = ScenarioRecord(record)
         self.records.append(record)
         if self.path is not None:
-            with self.path.open("a") as handle:
-                handle.write(record.to_json_line() + "\n")
+            data = (record.to_json_line() + "\n").encode("utf-8")
+            fd = os.open(
+                str(self.path),
+                os.O_WRONLY | os.O_APPEND | os.O_CREAT,
+                0o644,
+            )
+            try:
+                os.write(fd, data)
+            finally:
+                os.close(fd)
         return record
 
     @staticmethod

@@ -656,3 +656,13 @@ def test_repeated_smoke_reuses_the_cache_across_processes(tmp_path):
     warm = _run_smoke(cache_dir, "--expect-warm")
     assert warm.returncode == 0, warm.stdout + warm.stderr
     assert "profiles computed=0" in warm.stdout
+
+
+def test_cli_stats_json(tmp_path, capsys):
+    root = tmp_path / "json-cache"
+    ProfileCache(root).put(KIND_PROFILE, "aa11", {"x": 1})
+    assert cache_cli(["stats", "--dir", str(root), "--json"]) == 0
+    stats = json.loads(capsys.readouterr().out)
+    assert stats["root"] == str(root)
+    assert stats["entries"] == 1 and stats["bytes"] > 0
+    assert stats["kinds"][KIND_PROFILE]["entries"] == 1

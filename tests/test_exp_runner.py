@@ -347,3 +347,75 @@ def test_async_backend_runs_inside_a_running_event_loop():
         ))
 
     assert asyncio.run(driver()) == [0, 1, 2, 3]
+
+
+def test_async_backend_failure_does_not_poison_reuse():
+    """An exception in one sweep leaves the backend fully reusable:
+    the loop thread and executor are retired per map(), so the next
+    sweep starts clean."""
+    from repro.exp import AsyncBackend
+
+    backend = AsyncBackend(concurrency=2)
+
+    def broken(task):
+        raise RuntimeError(f"task {task['index']} broke")
+
+    with pytest.raises(RuntimeError, match="task 0 broke"):
+        list(backend.map(broken, [{"index": i} for i in range(4)]))
+    assert list(
+        backend.map(_index_worker, [{"index": i} for i in range(4)])
+    ) == [0, 1, 2, 3]
+
+
+def test_async_backend_cancellation_mid_sweep():
+    """Closing the stream mid-sweep cancels the unstarted tail (the
+    concurrency gate never admits it) and leaves the backend usable."""
+    import time as time_module
+
+    from repro.exp import AsyncBackend
+
+    backend = AsyncBackend(concurrency=1)
+    started = []
+
+    def slow(task):
+        started.append(task["index"])
+        time_module.sleep(0.05)
+        return task["index"]
+
+    stream = backend.map(slow, [{"index": i} for i in range(6)])
+    assert next(stream) == 0
+    stream.close()  # abandon the sweep after one result
+    # With concurrency=1 only the task admitted while result 0 was
+    # being consumed can have started; the far tail never ran.
+    assert 0 in started and 5 not in started
+    started.clear()
+    assert list(
+        backend.map(slow, [{"index": i} for i in range(3)])
+    ) == [0, 1, 2]
+    assert started == [0, 1, 2]
+
+
+def test_failed_task_does_not_poison_subsequent_runs(monkeypatch):
+    """A task failure surfaces to the caller, keeps the records that
+    finished first, and leaves the runner good for the next sweep."""
+    scenarios = sweep(base_scenario(), solver=["dp", "greedy"])
+    real_execute = runner_module._execute_task
+
+    def flaky_execute(task):
+        scenario = Scenario.from_dict(task["scenario"])
+        if scenario.method.solver == "greedy":
+            raise ValueError("injected greedy failure")
+        return real_execute(task)
+
+    monkeypatch.setattr(runner_module, "_execute_task", flaky_execute)
+    runner = ExperimentRunner(workers=1)
+    partial = ResultStore()
+    with pytest.raises(ValueError, match="injected greedy failure"):
+        runner.run(scenarios, store=partial)
+    # The dp record streamed before the greedy task failed.
+    assert [r.axes["solver"] for r in partial] == ["dp"]
+
+    monkeypatch.setattr(runner_module, "_execute_task", real_execute)
+    recovered = runner.run(scenarios, store=ResultStore())
+    assert len(recovered) == 2
+    assert {r.axes["solver"] for r in recovered} == {"dp", "greedy"}

@@ -226,3 +226,42 @@ def test_report_from_store_renders_axes_and_metrics():
     assert "dp" in text and "greedy" in text
     assert "∞" in text  # the perfect record renders as infinity
     assert "worst compositionality" in text
+
+
+def _append_records(path, worker_index, count, barrier):
+    """One appender process: its own ResultStore on the shared file."""
+    store = ResultStore(path=path, append=True)
+    barrier.wait()  # maximise interleaving
+    for i in range(count):
+        store.append(make_record(shared_misses=worker_index * 1000 + i))
+
+
+def test_concurrent_appenders_interleave_whole_lines(tmp_path):
+    """Four processes appending to one store file concurrently: every
+    record survives intact (the O_APPEND single-write mirror never
+    tears or overwrites a line)."""
+    import multiprocessing
+
+    path = tmp_path / "concurrent.jsonl"
+    ResultStore(path=path)  # create the shared file once
+    ctx = multiprocessing.get_context("fork")
+    barrier = ctx.Barrier(4)
+    processes = [
+        ctx.Process(
+            target=_append_records, args=(str(path), w, 25, barrier)
+        )
+        for w in range(4)
+    ]
+    for process in processes:
+        process.start()
+    for process in processes:
+        process.join(timeout=60)
+        assert process.exitcode == 0
+
+    # Load would raise on any torn line; the counter check catches a
+    # lost (overwritten) record.
+    loaded = ResultStore.load(path)
+    assert len(loaded) == 100
+    assert sorted(r.shared["misses"] for r in loaded) == sorted(
+        w * 1000 + i for w in range(4) for i in range(25)
+    )
